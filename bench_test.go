@@ -1,0 +1,267 @@
+package piileak
+
+import (
+	"strings"
+	"testing"
+
+	"piileak/internal/browser"
+	"piileak/internal/core"
+	"piileak/internal/crawler"
+	"piileak/internal/pii"
+	"piileak/internal/policy"
+	"piileak/internal/tracking"
+	"piileak/internal/webgen"
+)
+
+// Each benchmark regenerates one of the paper's tables or figures
+// (DESIGN.md's per-experiment index) over the shared paper-scale study
+// and reports the key measured quantity as a custom metric, so
+// `go test -bench .` both times the pipeline stage and reprints the
+// paper-vs-measured numbers recorded in EXPERIMENTS.md.
+
+func BenchmarkE0_CollectionFunnel(b *testing.B) {
+	eco := study(b).Eco
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := crawler.Crawl(eco, browser.Firefox88())
+		if len(ds.Successes()) != Paper.CrawledSites {
+			b.Fatalf("crawled = %d", len(ds.Successes()))
+		}
+	}
+	b.ReportMetric(float64(Paper.CrawledSites), "crawled_sites")
+}
+
+func BenchmarkE1_HeadlineLeakage(b *testing.B) {
+	s := study(b)
+	var h core.Headline
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var leaks []core.Leak
+		for _, c := range s.Dataset.Successes() {
+			leaks = append(leaks, s.Detector.DetectSite(c.Domain, c.Records)...)
+		}
+		h = core.Analyze(leaks, len(s.Dataset.Successes())).Headline()
+	}
+	b.ReportMetric(float64(h.Senders), "senders")
+	b.ReportMetric(float64(h.Receivers), "receivers")
+	b.ReportMetric(h.LeakRate, "leak_rate_pct")
+	b.ReportMetric(float64(h.LeakyRequests), "leaky_requests")
+}
+
+func BenchmarkE2_Table1aByMethod(b *testing.B) {
+	s := study(b)
+	var rows []core.BreakdownRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = s.Analysis.ByMethod()
+	}
+	for _, r := range rows {
+		if r.Label == "uri" {
+			b.ReportMetric(float64(r.Senders), "uri_senders")
+		}
+		if r.Label == "cookie" {
+			b.ReportMetric(float64(r.Senders), "cookie_senders")
+		}
+	}
+}
+
+func BenchmarkE3_Table1bByEncoding(b *testing.B) {
+	s := study(b)
+	var rows []core.BreakdownRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = s.Analysis.ByEncoding()
+	}
+	for _, r := range rows {
+		if r.Label == "sha256" {
+			b.ReportMetric(float64(r.Senders), "sha256_senders")
+		}
+	}
+}
+
+func BenchmarkE4_Table1cByPIIType(b *testing.B) {
+	s := study(b)
+	var rows []core.BreakdownRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = s.Analysis.ByPIIType()
+	}
+	for _, r := range rows {
+		if r.Label == "email,name" {
+			b.ReportMetric(float64(r.Senders), "email_name_senders")
+		}
+	}
+}
+
+func BenchmarkE5_Figure2TopReceivers(b *testing.B) {
+	s := study(b)
+	var top []core.ReceiverRank
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top = s.Analysis.TopReceivers(15)
+	}
+	if len(top) > 0 {
+		b.ReportMetric(top[0].SenderPct, "facebook_sender_pct")
+	}
+}
+
+func BenchmarkE6_Table2TrackingProviders(b *testing.B) {
+	s := study(b)
+	var cls *tracking.Classification
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cls = tracking.Classify(s.Leaks)
+	}
+	b.ReportMetric(float64(len(cls.Trackers)), "tracking_providers")
+	b.ReportMetric(float64(cls.MultiSenderID), "same_id_receivers")
+	b.ReportMetric(float64(cls.SingleSender), "single_sender_receivers")
+}
+
+func BenchmarkE7_EmailFollowup(b *testing.B) {
+	s := study(b)
+	var inbox, spam int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inbox = s.Dataset.Mailbox.Count("inbox")
+		spam = s.Dataset.Mailbox.Count("spam")
+	}
+	b.ReportMetric(float64(inbox), "inbox_mails")
+	b.ReportMetric(float64(spam), "spam_mails")
+}
+
+func BenchmarkE8_Table3PolicyDisclosure(b *testing.B) {
+	s := study(b)
+	var tbl policy.Table3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = s.PolicyAudit()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tbl.NotSpecific), "not_specific")
+	b.ReportMetric(float64(tbl.Specific), "specific")
+}
+
+func BenchmarkE9_BrowserCountermeasures(b *testing.B) {
+	s := study(b)
+	var braveSenders, braveReceivers int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := s.EvaluateBrowsers()
+		for _, r := range results {
+			if strings.HasPrefix(r.Browser, "Brave") {
+				braveSenders, braveReceivers = r.Senders, r.Receivers
+			}
+		}
+	}
+	b.ReportMetric(float64(braveSenders), "brave_surviving_senders")
+	b.ReportMetric(float64(braveReceivers), "brave_surviving_receivers")
+}
+
+func BenchmarkE10_Table4Blocklists(b *testing.B) {
+	s := study(b)
+	var epSenders int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t4, err := s.EvaluateBlocklists()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range t4.Rows {
+			if r.Metric == "senders" && r.Method == "total" {
+				epSenders = r.EasyPrivacy.Count
+			}
+		}
+	}
+	b.ReportMetric(float64(epSenders), "easyprivacy_senders")
+}
+
+func BenchmarkA1_CandidateDepth(b *testing.B) {
+	persona := pii.Default()
+	for _, depth := range []int{1, 2} {
+		b.Run(map[int]string{1: "depth1", 2: "depth2"}[depth], func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				cs := pii.MustBuildCandidates(persona, pii.CandidateConfig{MaxDepth: depth})
+				size = cs.Size()
+			}
+			b.ReportMetric(float64(size), "tokens")
+		})
+	}
+}
+
+func BenchmarkA2_MatcherAblation(b *testing.B) {
+	s := study(b)
+	// One representative leaky request blob.
+	var blob []byte
+	for _, c := range s.Dataset.Successes() {
+		for i := range c.Records {
+			if len(c.Records[i].Request.URL) > 80 {
+				blob = []byte(c.Records[i].Request.URL)
+				break
+			}
+		}
+		if blob != nil {
+			break
+		}
+	}
+	b.Run("aho-corasick", func(b *testing.B) {
+		b.SetBytes(int64(len(blob)))
+		for i := 0; i < b.N; i++ {
+			s.Candidates.FindIn(blob)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		tokens := s.Candidates.Tokens()
+		b.SetBytes(int64(len(blob)))
+		for i := 0; i < b.N; i++ {
+			for j := range tokens {
+				_ = strings.Contains(string(blob), tokens[j].Value)
+			}
+		}
+	})
+}
+
+func BenchmarkA3_DecodeVsCandidates(b *testing.B) {
+	s := study(b)
+	hashOnly := pii.MustBuildCandidates(s.Eco.Persona, pii.CandidateConfig{
+		MaxDepth:   1,
+		Transforms: []string{"md5", "sha1", "sha256"},
+	})
+	det := core.NewDetector(hashOnly, s.Detector.CNAME)
+	succ := s.Dataset.Successes()
+	b.Run("candidate-set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := succ[i%len(succ)]
+			s.Detector.DetectSite(c.Domain, c.Records)
+		}
+	})
+	b.Run("decode-based", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := succ[i%len(succ)]
+			for j := range c.Records {
+				det.DecodeDetect(c.Domain, &c.Records[j], 2)
+			}
+		}
+	})
+}
+
+// BenchmarkFullStudy measures the complete pipeline: ecosystem
+// generation, crawl, detection and analysis at paper scale.
+func BenchmarkFullStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := NewStudy(Config{
+			Ecosystem:      webgen.DefaultConfig(),
+			CandidateDepth: 2,
+			Browser:        browser.Firefox88(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package piileak_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIToolsPipeline builds every command and drives the documented
+// pipeline end to end: crawl → detect/track/pcap, plus the standalone
+// audit tools.
+func TestCLIToolsPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	tools := []string{"piicrawl", "piidetect", "piitrack", "piipolicy", "piiguard", "piiblock", "piipcap", "piirepro"}
+	for _, tool := range tools {
+		bin := filepath.Join(dir, tool)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	run := func(tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(dir, tool), args...)
+		out, err := cmd.Output()
+		if err != nil {
+			stderr := ""
+			if ee, ok := err.(*exec.ExitError); ok {
+				stderr = string(ee.Stderr)
+			}
+			t.Fatalf("%s %v: %v\n%s", tool, args, err, stderr)
+		}
+		return string(out)
+	}
+
+	ds := filepath.Join(dir, "ds.json.gz")
+	run("piicrawl", "-small", "-funnel", "-o", ds)
+	if fi, err := os.Stat(ds); err != nil || fi.Size() == 0 {
+		t.Fatalf("dataset not written: %v", err)
+	}
+
+	detect := run("piidetect", "-i", ds)
+	if !strings.Contains(detect, "Table 1a") || !strings.Contains(detect, "facebook.com") {
+		t.Errorf("piidetect output unexpected:\n%s", detect[:min(400, len(detect))])
+	}
+
+	track := run("piitrack", "-i", ds)
+	if !strings.Contains(track, "Table 2") || !strings.Contains(track, "udff[em]") {
+		t.Errorf("piitrack output unexpected:\n%s", track[:min(400, len(track))])
+	}
+
+	pcapPath := filepath.Join(dir, "crawl.pcap")
+	run("piipcap", "-i", ds, "-o", pcapPath)
+	if fi, err := os.Stat(pcapPath); err != nil || fi.Size() < 1000 {
+		t.Fatalf("pcap not written: %v", err)
+	}
+
+	policy := run("piipolicy", "-small")
+	if !strings.Contains(policy, "Table 3") {
+		t.Errorf("piipolicy output unexpected:\n%s", policy)
+	}
+
+	guard := run("piiguard", "-small")
+	if !strings.Contains(guard, "Brave") || !strings.Contains(guard, "Firefox") {
+		t.Errorf("piiguard output unexpected:\n%s", guard)
+	}
+
+	block := run("piiblock", "-small")
+	if !strings.Contains(block, "EasyPrivacy") {
+		t.Errorf("piiblock output unexpected:\n%s", block)
+	}
+
+	repro := run("piirepro", "-small", "-experiments", "E0,E8")
+	if !strings.Contains(repro, "E0") || !strings.Contains(repro, "Table 3") {
+		t.Errorf("piirepro output unexpected:\n%s", repro[:min(400, len(repro))])
+	}
+
+	jsonOut := run("piirepro", "-small", "-json")
+	if !strings.Contains(jsonOut, `"headline"`) {
+		t.Errorf("piirepro -json output unexpected")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

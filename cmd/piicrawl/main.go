@@ -1,0 +1,82 @@
+// Command piicrawl runs the §3.2 data collection over the synthetic
+// ecosystem and writes the captured traffic as a JSON dataset, which the
+// other tools consume.
+//
+// Usage:
+//
+//	piicrawl [-seed N] [-small] [-browser firefox|chrome|brave] [-o dataset.json] [-funnel]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"piileak/internal/browser"
+	"piileak/internal/crawler"
+	"piileak/internal/webgen"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2021, "ecosystem seed")
+	small := flag.Bool("small", false, "use the scaled-down ecosystem")
+	browserName := flag.String("browser", "firefox", "collection browser: firefox, chrome, opera, safari, firefox-etp, brave")
+	out := flag.String("o", "", "output dataset path (default stdout)")
+	funnel := flag.Bool("funnel", false, "print the §3.2 funnel summary to stderr")
+	flag.Parse()
+
+	cfg := webgen.DefaultConfig()
+	if *small {
+		cfg = webgen.SmallConfig(*seed)
+	}
+	cfg.Seed = *seed
+
+	eco, err := webgen.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var profile browser.Profile
+	switch *browserName {
+	case "firefox":
+		profile = browser.Firefox88()
+	case "chrome":
+		profile = browser.Chrome93()
+	case "opera":
+		profile = browser.Opera79()
+	case "safari":
+		profile = browser.Safari14()
+	case "firefox-etp":
+		profile = browser.Firefox88ETP(eco.BraveShields)
+	case "brave":
+		profile = browser.Brave129(eco.BraveShields)
+	default:
+		fatal(fmt.Errorf("unknown browser %q", *browserName))
+	}
+
+	ds := crawler.Crawl(eco, profile)
+
+	if *funnel {
+		counts := ds.FunnelCounts()
+		fmt.Fprintf(os.Stderr, "sites: %d  success: %d  unreachable: %d  no-auth: %d  signup-blocked: %d  captcha: %d\n",
+			len(ds.Crawls), counts[crawler.OutcomeSuccess], counts[crawler.OutcomeUnreachable],
+			counts[crawler.OutcomeNoAuthFlow], counts[crawler.OutcomeSignupBlocked], counts[crawler.OutcomeCaptcha])
+		fmt.Fprintf(os.Stderr, "records: %d  inbox mails: %d  spam mails: %d\n",
+			ds.TotalRecords(), ds.Mailbox.Count("inbox"), ds.Mailbox.Count("spam"))
+	}
+
+	if *out != "" {
+		if err := ds.WriteJSONFile(*out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := ds.WriteJSON(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "piicrawl:", err)
+	os.Exit(1)
+}

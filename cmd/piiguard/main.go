@@ -1,0 +1,47 @@
+// Command piiguard runs the §7.1 browser-countermeasure evaluation:
+// it re-crawls the sender sites under every browser profile and reports
+// how much PII leakage each one prevents.
+//
+// Usage:
+//
+//	piiguard [-seed N] [-small]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"piileak"
+	"piileak/internal/report"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2021, "ecosystem seed")
+	small := flag.Bool("small", false, "use the scaled-down ecosystem")
+	flag.Parse()
+
+	cfg := piileak.DefaultConfig()
+	if *small {
+		cfg = piileak.SmallConfig(*seed)
+	}
+	cfg.Ecosystem.Seed = *seed
+
+	study, err := piileak.NewStudy(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	results := study.EvaluateBrowsers()
+	fmt.Println(report.Browsers(results))
+	for _, r := range results {
+		if len(r.MissedReceivers) > 0 {
+			fmt.Printf("%s still leaks to: %s\n", r.Browser, strings.Join(r.MissedReceivers, ", "))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "piiguard:", err)
+	os.Exit(1)
+}

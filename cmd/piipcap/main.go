@@ -1,0 +1,68 @@
+// Command piipcap exports a piicrawl dataset as a classic libpcap
+// capture: every recorded HTTP exchange becomes a synthesized TCP
+// connection over Ethernet/IPv4, openable in Wireshark or tcpdump.
+//
+// Usage:
+//
+//	piicrawl -o ds.json && piipcap -i ds.json -o crawl.pcap
+//	piipcap -i ds.json -site urbanmarket.com -o one-site.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"piileak/internal/crawler"
+	"piileak/internal/pcap"
+)
+
+func main() {
+	in := flag.String("i", "", "input dataset path (default stdin)")
+	out := flag.String("o", "", "output pcap path (default stdout)")
+	site := flag.String("site", "", "export only this site's crawl")
+	flag.Parse()
+
+	var ds *crawler.Dataset
+	var err error
+	if *in != "" {
+		ds, err = crawler.ReadJSONFile(*in)
+	} else {
+		ds, err = crawler.ReadJSON(os.Stdin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	pw := pcap.NewWriter(w)
+	exchanges := 0
+	for i := range ds.Crawls {
+		c := &ds.Crawls[i]
+		if *site != "" && c.Domain != *site {
+			continue
+		}
+		if err := pw.WriteRecords(c.Records); err != nil {
+			fatal(err)
+		}
+		exchanges += len(c.Records)
+	}
+	if *site != "" && exchanges == 0 {
+		fatal(fmt.Errorf("site %q not in the dataset", *site))
+	}
+	fmt.Fprintf(os.Stderr, "piipcap: %d HTTP exchanges exported\n", exchanges)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "piipcap:", err)
+	os.Exit(1)
+}

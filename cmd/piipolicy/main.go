@@ -1,0 +1,61 @@
+// Command piipolicy runs the §6 transparency audit: it generates the
+// ecosystem, detects the sender population, and classifies every
+// sender's privacy policy (Table 3). With -dump it also prints the
+// policy text of one site.
+//
+// Usage:
+//
+//	piipolicy [-seed N] [-small] [-dump domain]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"piileak"
+	"piileak/internal/policy"
+	"piileak/internal/report"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2021, "ecosystem seed")
+	small := flag.Bool("small", false, "use the scaled-down ecosystem")
+	dump := flag.String("dump", "", "print the generated policy text of this site domain")
+	flag.Parse()
+
+	cfg := piileak.DefaultConfig()
+	if *small {
+		cfg = piileak.SmallConfig(*seed)
+	}
+	cfg.Ecosystem.Seed = *seed
+
+	study, err := piileak.NewStudy(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dump != "" {
+		for _, s := range study.Eco.Sites {
+			if s.Domain == *dump {
+				fmt.Println(policy.Generate(s))
+				return
+			}
+		}
+		fatal(fmt.Errorf("site %q not in the ecosystem", *dump))
+	}
+
+	if err := study.Run(); err != nil {
+		fatal(err)
+	}
+	tbl, err := study.PolicyAudit()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(report.Table3(tbl))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "piipolicy:", err)
+	os.Exit(1)
+}

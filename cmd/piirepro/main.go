@@ -1,0 +1,81 @@
+// Command piirepro runs the full reproduction: it generates the
+// paper-calibrated ecosystem, performs the §3.2 crawl, and regenerates
+// every table and figure of the paper's evaluation with paper-vs-measured
+// comparisons — the contents of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	piirepro [-seed N] [-small] [-experiments E1,E6,E10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"piileak"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2021, "ecosystem seed")
+	small := flag.Bool("small", false, "use the scaled-down ecosystem")
+	only := flag.String("experiments", "", "comma-separated experiment IDs (default: all)")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable summary instead of text reports")
+	flag.Parse()
+
+	cfg := piileak.DefaultConfig()
+	if *small {
+		cfg = piileak.SmallConfig(*seed)
+	}
+	cfg.Ecosystem.Seed = *seed
+
+	study, err := piileak.NewStudy(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "piirepro: crawling %d candidate sites with %s...\n",
+		len(study.Eco.Sites), cfg.Browser.Name)
+	if err := study.Run(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "piirepro: %d records captured, %d leaks detected\n",
+		study.Dataset.TotalRecords(), len(study.Leaks))
+
+	if *jsonOut {
+		if err := study.WriteSummaryJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	failed := false
+	for _, e := range piileak.Experiments() {
+		if len(wanted) > 0 && !wanted[e.ID] {
+			continue
+		}
+		fmt.Printf("==== %s — %s ====\n\n", e.ID, e.Title)
+		out, err := e.Run(study)
+		if err != nil {
+			failed = true
+			fmt.Printf("ERROR: %v\n\n", err)
+			continue
+		}
+		fmt.Println(out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "piirepro:", err)
+	os.Exit(1)
+}

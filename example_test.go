@@ -1,0 +1,53 @@
+package piileak_test
+
+import (
+	"fmt"
+	"log"
+
+	"piileak"
+)
+
+// ExampleNewStudy runs a scaled-down study end to end and prints the
+// populations the pipeline recovers.
+func ExampleNewStudy() {
+	study, err := piileak.NewStudy(piileak.SmallConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := study.Run(); err != nil {
+		log.Fatal(err)
+	}
+	h := study.Analysis.Headline()
+	fmt.Printf("senders: %d of %d sites\n", h.Senders, h.TotalSites)
+	fmt.Printf("receivers: %d\n", h.Receivers)
+	// Output:
+	// senders: 30 of 48 sites
+	// receivers: 100
+}
+
+// ExampleStudy_Tracking classifies the persistent-tracking providers of
+// a completed study.
+func ExampleStudy_Tracking() {
+	study, err := piileak.NewStudy(piileak.SmallConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := study.Run(); err != nil {
+		log.Fatal(err)
+	}
+	cls, err := study.Tracking()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top tracker: %s\n", cls.Trackers[0].Display())
+	// Output:
+	// top tracker: facebook.com
+}
+
+// ExampleExperimentByID looks up and runs one registered experiment.
+func ExampleExperimentByID() {
+	e, ok := piileak.ExperimentByID("E8")
+	fmt.Println(ok, e.Title)
+	// Output:
+	// true Table 3 — privacy-policy disclosures
+}

@@ -1,0 +1,29 @@
+// Browser-compare: reproduce the §7.1 experiment interactively — re-crawl
+// the leaking sites under every browser profile and show what each one
+// actually prevents.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"piileak"
+	"piileak/internal/report"
+)
+
+func main() {
+	study, err := piileak.NewStudy(piileak.SmallConfig(13))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	results := study.EvaluateBrowsers()
+	fmt.Println(report.Browsers(results))
+
+	fmt.Println("Reading the table:")
+	fmt.Println(" - ITP (Safari) and ETP (Firefox) block third-party COOKIES, but PII")
+	fmt.Println("   identifiers travel in URLs and request bodies, so leakage is unchanged.")
+	fmt.Println(" - Brave's Shields block the tracker REQUESTS themselves (including")
+	fmt.Println("   CNAME-cloaked ones), which is why only Brave moves the needle —")
+	fmt.Println("   and even Brave misses the niche receivers listed above.")
+}

@@ -1,0 +1,38 @@
+// Quickstart: generate a small synthetic web, run the crawl and the leak
+// detection, and print the headline results — the whole study in a dozen
+// lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"piileak"
+	"piileak/internal/report"
+)
+
+func main() {
+	study, err := piileak.NewStudy(piileak.SmallConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := study.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	h := study.Analysis.Headline()
+	fmt.Printf("Crawled %d shopping sites as %q.\n", h.TotalSites, study.Dataset.Persona.Email)
+	fmt.Printf("%d sites (%.1f%%) leaked PII to %d third parties over %d requests.\n\n",
+		h.Senders, h.LeakRate, h.Receivers, h.LeakyRequests)
+
+	fmt.Println(report.Figure2(study.Analysis.TopReceivers(10)))
+
+	cls, err := study.Tracking()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d third parties use the leaked PII for persistent tracking:\n", len(cls.Trackers))
+	for _, tr := range cls.Trackers {
+		fmt.Printf("  %-20s %d senders, identifier params on subpages\n", tr.Display(), tr.Senders)
+	}
+}

@@ -1,0 +1,3 @@
+module piileak
+
+go 1.22

@@ -1,0 +1,214 @@
+// Package ahocorasick implements the Aho-Corasick multi-pattern string
+// matching automaton.
+//
+// The PII leak detector compiles the persona's candidate-token set —
+// tens to hundreds of thousands of encoded/hashed PII strings (§3.1) —
+// into one automaton and scans every third-party request surface in a
+// single pass, instead of running len(tokens) substring searches per
+// request. Benchmark A2 in the top-level harness quantifies the
+// difference.
+//
+// Children are stored as small sorted edge slices rather than per-node
+// maps: candidate tokens are mostly hex/base64 text with little prefix
+// sharing, so node counts approach total pattern bytes, and slice edges
+// keep memory linear in that size.
+package ahocorasick
+
+// Match reports one pattern occurrence.
+type Match struct {
+	// Pattern is the index of the matched pattern in the slice passed
+	// to New.
+	Pattern int
+	// End is the byte offset just past the match in the scanned text.
+	End int
+}
+
+type edge struct {
+	b    byte
+	node int32
+}
+
+type node struct {
+	// edges is sorted by byte for binary search; nodes typically have
+	// very few children, so linear scan wins and sorting keeps builds
+	// deterministic.
+	edges []edge
+	fail  int32
+	// out lists pattern indices ending at this node (including ones
+	// inherited through failure links).
+	out []int32
+}
+
+func (n *node) child(b byte) (int32, bool) {
+	for _, e := range n.edges {
+		if e.b == b {
+			return e.node, true
+		}
+		if e.b > b {
+			break
+		}
+	}
+	return 0, false
+}
+
+func (n *node) addChild(b byte, id int32) {
+	i := 0
+	for i < len(n.edges) && n.edges[i].b < b {
+		i++
+	}
+	n.edges = append(n.edges, edge{})
+	copy(n.edges[i+1:], n.edges[i:])
+	n.edges[i] = edge{b: b, node: id}
+}
+
+// Matcher is an immutable Aho-Corasick automaton. It is safe for
+// concurrent use after construction.
+type Matcher struct {
+	nodes    []node
+	patterns int
+	// patLens[i] is the length of pattern i (used to compute start
+	// offsets on demand).
+	patLens []int
+}
+
+// New builds an automaton over the given patterns. Empty patterns are
+// permitted but never match. Duplicate patterns each report their own
+// index.
+func New(patterns [][]byte) *Matcher {
+	m := &Matcher{
+		nodes:    make([]node, 1, 64),
+		patterns: len(patterns),
+		patLens:  make([]int, len(patterns)),
+	}
+
+	// Phase 1: trie.
+	for i, p := range patterns {
+		m.patLens[i] = len(p)
+		if len(p) == 0 {
+			continue
+		}
+		cur := int32(0)
+		for _, b := range p {
+			nxt, ok := m.nodes[cur].child(b)
+			if !ok {
+				m.nodes = append(m.nodes, node{})
+				nxt = int32(len(m.nodes) - 1)
+				m.nodes[cur].addChild(b, nxt)
+			}
+			cur = nxt
+		}
+		m.nodes[cur].out = append(m.nodes[cur].out, int32(i))
+	}
+
+	// Phase 2: failure links, breadth first.
+	queue := make([]int32, 0, len(m.nodes))
+	for _, e := range m.nodes[0].edges {
+		m.nodes[e.node].fail = 0
+		queue = append(queue, e.node)
+	}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, e := range m.nodes[cur].edges {
+			child := e.node
+			queue = append(queue, child)
+			f := m.nodes[cur].fail
+			for {
+				if nxt, ok := m.nodes[f].child(e.b); ok && nxt != child {
+					m.nodes[child].fail = nxt
+					break
+				}
+				if f == 0 {
+					m.nodes[child].fail = 0
+					break
+				}
+				f = m.nodes[f].fail
+			}
+			// Inherit outputs from the failure target so scanning
+			// never walks failure chains for reporting.
+			ft := m.nodes[child].fail
+			if len(m.nodes[ft].out) > 0 {
+				m.nodes[child].out = append(m.nodes[child].out, m.nodes[ft].out...)
+			}
+		}
+	}
+	return m
+}
+
+// NewStrings is New for string patterns.
+func NewStrings(patterns []string) *Matcher {
+	bs := make([][]byte, len(patterns))
+	for i, p := range patterns {
+		bs[i] = []byte(p)
+	}
+	return New(bs)
+}
+
+// step advances the automaton from state s on byte b.
+func (m *Matcher) step(s int32, b byte) int32 {
+	for {
+		if nxt, ok := m.nodes[s].child(b); ok {
+			return nxt
+		}
+		if s == 0 {
+			return 0
+		}
+		s = m.nodes[s].fail
+	}
+}
+
+// Find returns every occurrence of every pattern in text, in scan order.
+func (m *Matcher) Find(text []byte) []Match {
+	var matches []Match
+	s := int32(0)
+	for i, b := range text {
+		s = m.step(s, b)
+		for _, p := range m.nodes[s].out {
+			matches = append(matches, Match{Pattern: int(p), End: i + 1})
+		}
+	}
+	return matches
+}
+
+// FindUnique returns the set of distinct pattern indices occurring in
+// text, in first-match order. It is the detector's hot path.
+func (m *Matcher) FindUnique(text []byte) []int {
+	var found []int
+	var seen map[int]bool
+	s := int32(0)
+	for _, b := range text {
+		s = m.step(s, b)
+		for _, p := range m.nodes[s].out {
+			if seen == nil {
+				seen = make(map[int]bool)
+			}
+			if !seen[int(p)] {
+				seen[int(p)] = true
+				found = append(found, int(p))
+			}
+		}
+	}
+	return found
+}
+
+// Contains reports whether any pattern occurs in text.
+func (m *Matcher) Contains(text []byte) bool {
+	s := int32(0)
+	for _, b := range text {
+		s = m.step(s, b)
+		if len(m.nodes[s].out) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PatternLen returns the length of pattern i, so callers can recover the
+// start offset of a Match (End - PatternLen).
+func (m *Matcher) PatternLen(i int) int { return m.patLens[i] }
+
+// NumPatterns returns the number of patterns the automaton was built from.
+func (m *Matcher) NumPatterns() int { return m.patterns }
+
+// NumStates returns the number of automaton states (trie nodes), which the
+// candidate-set ablation reports as a memory proxy.
+func (m *Matcher) NumStates() int { return len(m.nodes) }

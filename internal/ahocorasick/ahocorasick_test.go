@@ -1,0 +1,201 @@
+package ahocorasick
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFindClassicExample(t *testing.T) {
+	// The textbook he/she/his/hers example.
+	m := NewStrings([]string{"he", "she", "his", "hers"})
+	got := m.Find([]byte("ushers"))
+	want := []Match{
+		{Pattern: 1, End: 4}, // she
+		{Pattern: 0, End: 4}, // he
+		{Pattern: 3, End: 6}, // hers
+	}
+	sortMatches(got)
+	sortMatches(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Find = %+v, want %+v", got, want)
+	}
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(a, b int) bool {
+		if ms[a].End != ms[b].End {
+			return ms[a].End < ms[b].End
+		}
+		return ms[a].Pattern < ms[b].Pattern
+	})
+}
+
+func TestOverlappingMatches(t *testing.T) {
+	m := NewStrings([]string{"aa", "aaa"})
+	got := m.Find([]byte("aaaa"))
+	// "aa" at ends 2,3,4; "aaa" at ends 3,4.
+	if len(got) != 5 {
+		t.Errorf("got %d matches, want 5: %+v", len(got), got)
+	}
+}
+
+func TestFindUnique(t *testing.T) {
+	m := NewStrings([]string{"foo", "bar", "baz"})
+	got := m.FindUnique([]byte("barbar foofoo bar"))
+	want := []int{1, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FindUnique = %v, want %v", got, want)
+	}
+}
+
+func TestContains(t *testing.T) {
+	m := NewStrings([]string{"needle"})
+	if !m.Contains([]byte("a haystack with a needle inside")) {
+		t.Error("Contains missed the needle")
+	}
+	if m.Contains([]byte("just hay")) {
+		t.Error("Contains false positive")
+	}
+}
+
+func TestEmptyPatternNeverMatches(t *testing.T) {
+	m := NewStrings([]string{"", "x"})
+	got := m.Find([]byte("xx"))
+	for _, g := range got {
+		if g.Pattern == 0 {
+			t.Fatalf("empty pattern matched: %+v", g)
+		}
+	}
+	if len(got) != 2 {
+		t.Errorf("pattern x: got %d matches, want 2", len(got))
+	}
+}
+
+func TestNoPatterns(t *testing.T) {
+	m := New(nil)
+	if m.Contains([]byte("anything")) {
+		t.Error("empty automaton matched")
+	}
+	if got := m.Find([]byte("anything")); got != nil {
+		t.Errorf("empty automaton Find = %v", got)
+	}
+}
+
+func TestDuplicatePatternsReportBothIndices(t *testing.T) {
+	m := NewStrings([]string{"dup", "dup"})
+	got := m.FindUnique([]byte("a dup"))
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("duplicate patterns: FindUnique = %v", got)
+	}
+}
+
+func TestPatternMetadata(t *testing.T) {
+	m := NewStrings([]string{"abc", "de"})
+	if m.NumPatterns() != 2 {
+		t.Errorf("NumPatterns = %d", m.NumPatterns())
+	}
+	if m.PatternLen(0) != 3 || m.PatternLen(1) != 2 {
+		t.Errorf("PatternLen = %d, %d", m.PatternLen(0), m.PatternLen(1))
+	}
+	if m.NumStates() < 6 {
+		t.Errorf("NumStates = %d, want >= 6", m.NumStates())
+	}
+}
+
+func TestMatchEndOffsets(t *testing.T) {
+	m := NewStrings([]string{"oo@my"})
+	got := m.Find([]byte("foo@mydom.com"))
+	if len(got) != 1 {
+		t.Fatalf("got %d matches", len(got))
+	}
+	start := got[0].End - m.PatternLen(got[0].Pattern)
+	if start != 1 || got[0].End != 6 {
+		t.Errorf("match span [%d,%d), want [1,6)", start, got[0].End)
+	}
+}
+
+// TestMatchesNaiveSearch cross-checks the automaton against strings.Index
+// on random inputs over a tiny alphabet (maximizing overlap and failure
+// transitions).
+func TestMatchesNaiveSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(2))
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 100; trial++ {
+		var patterns []string
+		for i := 0; i < rng.Intn(6)+1; i++ {
+			patterns = append(patterns, randStr(rng.Intn(4)+1))
+		}
+		text := randStr(rng.Intn(50))
+		m := NewStrings(patterns)
+
+		got := map[[2]int]bool{}
+		for _, match := range m.Find([]byte(text)) {
+			got[[2]int{match.Pattern, match.End}] = true
+		}
+		want := map[[2]int]bool{}
+		for pi, p := range patterns {
+			for off := 0; ; {
+				idx := strings.Index(text[off:], p)
+				if idx < 0 {
+					break
+				}
+				want[[2]int{pi, off + idx + len(p)}] = true
+				off += idx + 1
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("patterns %q text %q:\n got %v\nwant %v", patterns, text, got, want)
+		}
+	}
+}
+
+func TestQuickSinglePattern(t *testing.T) {
+	property := func(pattern, prefix, suffix []byte) bool {
+		if len(pattern) == 0 {
+			return true
+		}
+		m := New([][]byte{pattern})
+		text := append(append(append([]byte(nil), prefix...), pattern...), suffix...)
+		return m.Contains(text)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScan64KTokens(b *testing.B) {
+	// Approximates the detector's workload: tens of thousands of hex
+	// tokens scanned over a kilobyte-scale request blob.
+	patterns := make([][]byte, 64<<10)
+	rng := rand.New(rand.NewSource(3))
+	hexdig := []byte("0123456789abcdef")
+	for i := range patterns {
+		p := make([]byte, 32)
+		for j := range p {
+			p[j] = hexdig[rng.Intn(16)]
+		}
+		patterns[i] = p
+	}
+	m := New(patterns)
+	text := bytes.Repeat([]byte("utm_source=newsletter&ud5f="), 40)
+	text = append(text, patterns[100]...)
+	b.ResetTimer()
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		if !m.Contains(text) {
+			b.Fatal("lost the token")
+		}
+	}
+}

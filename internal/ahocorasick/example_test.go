@@ -1,0 +1,18 @@
+package ahocorasick_test
+
+import (
+	"fmt"
+
+	"piileak/internal/ahocorasick"
+)
+
+// Example scans one pass over a request blob for multiple tokens.
+func Example() {
+	m := ahocorasick.NewStrings([]string{"deadbeef", "cafebabe"})
+	for _, idx := range m.FindUnique([]byte("GET /p?a=cafebabe&b=deadbeef")) {
+		fmt.Println(idx)
+	}
+	// Output:
+	// 1
+	// 0
+}

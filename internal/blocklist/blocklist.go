@@ -1,0 +1,321 @@
+// Package blocklist implements an Adblock Plus filter engine with the
+// rule semantics the paper's §7.2 evaluation relies on (it used the
+// Python adblockparser library over EasyList and EasyPrivacy): domain
+// anchors (||), start/end anchors (|), wildcards (*), the ^ separator,
+// exception rules (@@), and the $ options third-party/~third-party,
+// domain= and resource types.
+//
+// Element-hiding rules (##, #@#) and the rarely relevant options (popup,
+// csp, ...) are parsed and skipped, exactly as a network-request matcher
+// should treat them.
+package blocklist
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"piileak/internal/httpmodel"
+	"piileak/internal/psl"
+)
+
+// ResourceType classifies a request for $type options. It is the traffic
+// model's resource type.
+type ResourceType = httpmodel.ResourceType
+
+// Resource types re-exported for rule matching.
+const (
+	TypeScript      = httpmodel.TypeScript
+	TypeImage       = httpmodel.TypeImage
+	TypeStylesheet  = httpmodel.TypeStylesheet
+	TypeXHR         = httpmodel.TypeXHR
+	TypeSubdocument = httpmodel.TypeSubdocument
+	TypePing        = httpmodel.TypePing
+	TypeDocument    = httpmodel.TypeDocument
+	TypeOther       = httpmodel.TypeOther
+)
+
+// RequestInfo carries the request attributes rule options inspect.
+type RequestInfo struct {
+	// URL is the absolute request URL.
+	URL string
+	// PageHost is the host of the page issuing the request.
+	PageHost string
+	// Type is the resource type.
+	Type ResourceType
+	// ThirdParty reports whether the request crosses registrable
+	// domains (computed by the caller, usually via psl).
+	ThirdParty bool
+}
+
+// Rule is one compiled network filter.
+type Rule struct {
+	// Raw is the original filter text.
+	Raw string
+	// Exception marks @@ rules.
+	Exception bool
+
+	re          *regexp.Regexp
+	hasTP       bool
+	tpValue     bool // value required when hasTP
+	types       map[ResourceType]bool
+	typesInvert bool
+	domains     []domainOpt
+}
+
+type domainOpt struct {
+	domain string
+	invert bool
+}
+
+// List is a named, ordered set of compiled rules.
+type List struct {
+	Name  string
+	Rules []Rule
+	// Skipped counts lines that were comments, cosmetic filters or
+	// unsupported rules.
+	Skipped int
+}
+
+// ParseList compiles a filter list from ABP text format.
+func ParseList(name, text string) (*List, error) {
+	l := &List{Name: name}
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "[") {
+			l.Skipped++
+			continue
+		}
+		// Cosmetic filters.
+		if strings.Contains(line, "##") || strings.Contains(line, "#@#") || strings.Contains(line, "#?#") {
+			l.Skipped++
+			continue
+		}
+		rule, ok, err := compileRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("blocklist: line %d: %w", lineNo+1, err)
+		}
+		if !ok {
+			l.Skipped++
+			continue
+		}
+		l.Rules = append(l.Rules, rule)
+	}
+	return l, nil
+}
+
+// MustParseList panics on error; for embedded lists.
+func MustParseList(name, text string) *List {
+	l, err := ParseList(name, text)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// compileRule translates one filter into a Rule. ok=false means the rule
+// is recognized but unsupported (skipped).
+func compileRule(line string) (Rule, bool, error) {
+	r := Rule{Raw: line}
+	body := line
+	if strings.HasPrefix(body, "@@") {
+		r.Exception = true
+		body = body[2:]
+	}
+
+	// Split off options at the last unescaped '$'.
+	if idx := strings.LastIndex(body, "$"); idx >= 0 && !strings.Contains(body[idx:], "/") {
+		opts := strings.Split(body[idx+1:], ",")
+		body = body[:idx]
+		for _, o := range opts {
+			o = strings.TrimSpace(o)
+			switch {
+			case o == "third-party":
+				r.hasTP, r.tpValue = true, true
+			case o == "~third-party":
+				r.hasTP, r.tpValue = true, false
+			case strings.HasPrefix(o, "domain="):
+				for _, d := range strings.Split(o[len("domain="):], "|") {
+					d = strings.TrimSpace(d)
+					if d == "" {
+						continue
+					}
+					if strings.HasPrefix(d, "~") {
+						r.domains = append(r.domains, domainOpt{domain: psl.Normalize(d[1:]), invert: true})
+					} else {
+						r.domains = append(r.domains, domainOpt{domain: psl.Normalize(d)})
+					}
+				}
+			case isTypeOption(o):
+				if r.types == nil {
+					r.types = make(map[ResourceType]bool)
+				}
+				if strings.HasPrefix(o, "~") {
+					r.typesInvert = true
+					r.types[ResourceType(o[1:])] = true
+				} else {
+					r.types[ResourceType(o)] = true
+				}
+			default:
+				// Unsupported option (popup, csp, redirect, ...):
+				// skip the whole rule, as adblockparser does when
+				// asked to honour unsupported options.
+				return Rule{}, false, nil
+			}
+		}
+	}
+
+	if body == "" {
+		return Rule{}, false, nil
+	}
+	re, err := ruleToRegexp(body)
+	if err != nil {
+		return Rule{}, false, err
+	}
+	r.re = re
+	return r, true, nil
+}
+
+func isTypeOption(o string) bool {
+	o = strings.TrimPrefix(o, "~")
+	switch ResourceType(o) {
+	case TypeScript, TypeImage, TypeStylesheet, TypeXHR, TypeSubdocument, TypePing, TypeDocument, TypeOther:
+		return true
+	}
+	return false
+}
+
+// ruleToRegexp mirrors adblockparser's translation of ABP filter syntax
+// to a regular expression.
+func ruleToRegexp(body string) (*regexp.Regexp, error) {
+	var sb strings.Builder
+	sb.WriteString("(?i)") // ABP matching is case-insensitive
+
+	i := 0
+	// Domain anchor.
+	if strings.HasPrefix(body, "||") {
+		sb.WriteString(`^(?:[^:/?#]+:)?(?://(?:[^/?#]*\.)?)?`)
+		i = 2
+	} else if strings.HasPrefix(body, "|") {
+		sb.WriteString("^")
+		i = 1
+	}
+	end := len(body)
+	endAnchor := false
+	if strings.HasSuffix(body, "|") && end > i {
+		endAnchor = true
+		end--
+	}
+	for ; i < end; i++ {
+		c := body[i]
+		switch c {
+		case '*':
+			sb.WriteString(".*")
+		case '^':
+			sb.WriteString(`(?:[^\w\-.%]|$)`)
+		case '.', '+', '?', '$', '{', '}', '(', ')', '[', ']', '/', '\\', '|':
+			sb.WriteByte('\\')
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	if endAnchor {
+		sb.WriteString("$")
+	}
+	return regexp.Compile(sb.String())
+}
+
+// matches reports whether the rule's pattern and options all hold.
+func (r *Rule) matches(ri RequestInfo) bool {
+	if r.hasTP && ri.ThirdParty != r.tpValue {
+		return false
+	}
+	if len(r.domains) > 0 && !r.domainAllowed(ri.PageHost) {
+		return false
+	}
+	if r.types != nil {
+		in := r.types[ri.Type]
+		if r.typesInvert {
+			in = !in
+		}
+		if !in {
+			return false
+		}
+	}
+	return r.re.MatchString(ri.URL)
+}
+
+func (r *Rule) domainAllowed(pageHost string) bool {
+	pageHost = psl.Normalize(pageHost)
+	anyPositive := false
+	matchedPositive := false
+	for _, d := range r.domains {
+		suffixMatch := pageHost == d.domain || strings.HasSuffix(pageHost, "."+d.domain)
+		if d.invert {
+			if suffixMatch {
+				return false
+			}
+			continue
+		}
+		anyPositive = true
+		if suffixMatch {
+			matchedPositive = true
+		}
+	}
+	if anyPositive && !matchedPositive {
+		return false
+	}
+	return true
+}
+
+// Decision is the outcome of matching one request against lists.
+type Decision struct {
+	// Blocked reports the final verdict.
+	Blocked bool
+	// Rule is the filter that decided the outcome (a block rule, or
+	// the exception that saved the request); nil when nothing matched.
+	Rule *Rule
+	// List is the name of the list the deciding rule came from.
+	List string
+}
+
+// Engine matches requests against one or more lists with ABP semantics:
+// any matching exception rule overrides any matching block rule.
+type Engine struct {
+	lists []*List
+}
+
+// NewEngine combines lists; order only affects which rule gets reported.
+func NewEngine(lists ...*List) *Engine { return &Engine{lists: lists} }
+
+// Lists returns the engine's lists.
+func (e *Engine) Lists() []*List { return e.lists }
+
+// Match evaluates a request.
+func (e *Engine) Match(ri RequestInfo) Decision {
+	var blockRule *Rule
+	var blockList string
+	for _, l := range e.lists {
+		for i := range l.Rules {
+			rule := &l.Rules[i]
+			if !rule.matches(ri) {
+				continue
+			}
+			if rule.Exception {
+				return Decision{Blocked: false, Rule: rule, List: l.Name}
+			}
+			if blockRule == nil {
+				blockRule = rule
+				blockList = l.Name
+			}
+		}
+	}
+	if blockRule != nil {
+		return Decision{Blocked: true, Rule: blockRule, List: blockList}
+	}
+	return Decision{}
+}
+
+// ShouldBlock is Match reduced to the verdict.
+func (e *Engine) ShouldBlock(ri RequestInfo) bool { return e.Match(ri).Blocked }

@@ -1,0 +1,29 @@
+package blocklist
+
+import "testing"
+
+// FuzzParseList ensures arbitrary filter text never panics the parser
+// and that every accepted rule can be matched without panicking.
+func FuzzParseList(f *testing.F) {
+	f.Add("||tracker.net^")
+	f.Add("@@||ok.net^$third-party")
+	f.Add("|https://x|\n/ads/*^\nsite.com##.x")
+	f.Add("$domain=a.com|~b.com")
+	f.Add("||x.com^$script,~image,domain=")
+	f.Add("*")
+	f.Add("^^^^")
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 1<<12 {
+			return
+		}
+		l, err := ParseList("fuzz", text)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		e := NewEngine(l)
+		e.Match(RequestInfo{
+			URL: "https://pixel.tracker.net/p?x=1", PageHost: "site.com",
+			Type: TypeImage, ThirdParty: true,
+		})
+	})
+}

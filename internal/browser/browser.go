@@ -1,0 +1,331 @@
+// Package browser simulates the browsers of §7.1: a cookie jar, referer
+// emission, subresource fetching, and per-profile privacy policy —
+// vanilla Chrome/Opera, Safari's ITP (third-party cookie blocking),
+// Firefox's ETP (third-party cookie blocking for known trackers), and
+// Brave's Shields (request blocking with CNAME uncloaking).
+//
+// The engine renders a site page by issuing the document request, a
+// first-party asset, and each embedded tag's resource request; the
+// crawler drives authentication events that make tags emit leak
+// requests. Everything the browser lets through is appended to Records —
+// the dataset §4's detection pipeline runs on.
+package browser
+
+import (
+	"net/url"
+	"strings"
+
+	"piileak/internal/dnssim"
+	"piileak/internal/httpmodel"
+	"piileak/internal/pii"
+	"piileak/internal/psl"
+	"piileak/internal/site"
+)
+
+// Profile is a browser's privacy configuration.
+type Profile struct {
+	// Name and Version identify the browser (reporting only).
+	Name    string
+	Version string
+	// BlockThirdPartyCookies stops cookies on cross-site requests
+	// (Safari ITP; Brave).
+	BlockThirdPartyCookies bool
+	// ETPTrackerCookies stops cookies on cross-site requests to known
+	// trackers only (Firefox ETP).
+	ETPTrackerCookies bool
+	// Shields holds registrable domains whose requests are blocked
+	// outright (Brave). nil means no request blocking.
+	Shields map[string]bool
+	// UncloakCNAME applies Shields to the CNAME-resolved effective
+	// party, not just the literal request host (Brave ≥ 1.25).
+	UncloakCNAME bool
+	// KnownTrackers backs ETPTrackerCookies.
+	KnownTrackers map[string]bool
+}
+
+// Chrome93 returns the vanilla Chrome profile of §7.1.
+func Chrome93() Profile { return Profile{Name: "Chrome", Version: "93"} }
+
+// Opera79 returns the vanilla Opera profile.
+func Opera79() Profile { return Profile{Name: "Opera", Version: "79.0"} }
+
+// Safari14 returns Safari with ITP (default-on).
+func Safari14() Profile {
+	return Profile{Name: "Safari", Version: "14.03", BlockThirdPartyCookies: true}
+}
+
+// Firefox88 returns the study's vanilla collection profile (ETP off).
+func Firefox88() Profile { return Profile{Name: "Firefox", Version: "88"} }
+
+// Firefox88ETP returns Firefox with Enhanced Tracking Protection,
+// restricting cookies for the given known-tracker domains.
+func Firefox88ETP(knownTrackers map[string]bool) Profile {
+	return Profile{
+		Name: "Firefox", Version: "88+ETP",
+		ETPTrackerCookies: true,
+		KnownTrackers:     knownTrackers,
+	}
+}
+
+// Brave129 returns Brave with Shields blocking the given registrable
+// domains, including over CNAME cloaking.
+func Brave129(shields map[string]bool) Profile {
+	return Profile{
+		Name: "Brave", Version: "1.29.81",
+		BlockThirdPartyCookies: true,
+		Shields:                shields,
+		UncloakCNAME:           true,
+	}
+}
+
+// Browser is one browsing session: a profile plus cookie jar and the
+// captured traffic.
+type Browser struct {
+	Profile    Profile
+	Classifier *dnssim.Classifier
+
+	// Records is the captured traffic, in request order.
+	Records []httpmodel.Record
+	// Blocked counts requests the profile blocked, by receiver
+	// registrable domain.
+	Blocked map[string]int
+
+	jar map[string][]httpmodel.Cookie // cookie domain -> cookies
+	seq int
+}
+
+// New creates a browsing session. zone supplies CNAME records for
+// uncloaking; it may be nil when no cloaked tags exist.
+func New(profile Profile, zone *dnssim.Zone) *Browser {
+	if zone == nil {
+		zone = dnssim.NewZone()
+	}
+	return &Browser{
+		Profile:    profile,
+		Classifier: dnssim.NewClassifier(zone),
+		Blocked:    map[string]int{},
+		jar:        map[string][]httpmodel.Cookie{},
+	}
+}
+
+// Reset clears cookies and captured traffic (a fresh session).
+func (b *Browser) Reset() {
+	b.Records = nil
+	b.Blocked = map[string]int{}
+	b.jar = map[string][]httpmodel.Cookie{}
+	b.seq = 0
+}
+
+// SetCookie stores a cookie in the jar.
+func (b *Browser) SetCookie(c httpmodel.Cookie) {
+	d := psl.Normalize(c.Domain)
+	for i, old := range b.jar[d] {
+		if old.Name == c.Name {
+			b.jar[d][i] = c
+			return
+		}
+	}
+	b.jar[d] = append(b.jar[d], c)
+}
+
+// cookiesFor returns the cookies the profile allows on a request to host
+// from a page on pageHost.
+func (b *Browser) cookiesFor(host, pageHost string) []httpmodel.Cookie {
+	var out []httpmodel.Cookie
+	thirdParty := b.Classifier.PSL.IsThirdParty(pageHost, host)
+	if thirdParty {
+		if b.Profile.BlockThirdPartyCookies {
+			return nil
+		}
+		if b.Profile.ETPTrackerCookies {
+			if e, err := b.Classifier.PSL.ETLDPlusOne(host); err == nil && b.Profile.KnownTrackers[e] {
+				return nil
+			}
+		}
+	}
+	for domain, cookies := range b.jar {
+		if host == domain || strings.HasSuffix(host, "."+domain) {
+			out = append(out, cookies...)
+		}
+	}
+	return out
+}
+
+// allowed applies Shields: false means the request is blocked. The
+// receiver is the registrable domain charged for the block.
+func (b *Browser) allowed(reqHost string) (receiver string, ok bool) {
+	if b.Profile.Shields == nil {
+		return "", true
+	}
+	party := reqHost
+	if b.Profile.UncloakCNAME {
+		party = b.Classifier.EffectiveParty(reqHost)
+	} else if e, err := b.Classifier.PSL.ETLDPlusOne(reqHost); err == nil {
+		party = e
+	}
+	if b.Profile.Shields[party] {
+		return party, false
+	}
+	return "", true
+}
+
+// Do issues one request: applies shields and cookie policy, attaches the
+// referer, records the exchange, and returns whether it went through.
+func (b *Browser) Do(req httpmodel.Request, page string, phase httpmodel.Phase, referer string, resp httpmodel.Response) bool {
+	host := req.Host()
+	if receiver, ok := b.allowed(host); !ok {
+		b.Blocked[receiver]++
+		return false
+	}
+	pageHost := hostOf(page)
+	if referer != "" {
+		if req.Headers == nil {
+			req.Headers = map[string]string{}
+		}
+		req.Headers["Referer"] = referer
+	}
+	req.Cookies = b.cookiesFor(host, pageHost)
+
+	if resp.Status == 0 {
+		resp.Status = 200
+	}
+	for _, c := range resp.SetCookies {
+		if b.canSetCookie(c, pageHost) {
+			b.SetCookie(c)
+		}
+	}
+
+	b.seq++
+	b.Records = append(b.Records, httpmodel.Record{
+		Seq:      b.seq,
+		Page:     page,
+		Phase:    phase,
+		Request:  req,
+		Response: resp,
+	})
+	return true
+}
+
+func (b *Browser) canSetCookie(c httpmodel.Cookie, pageHost string) bool {
+	thirdParty := b.Classifier.PSL.IsThirdParty(pageHost, c.Domain)
+	if !thirdParty {
+		return true
+	}
+	if b.Profile.BlockThirdPartyCookies {
+		return false
+	}
+	if b.Profile.ETPTrackerCookies {
+		if e, err := b.Classifier.PSL.ETLDPlusOne(c.Domain); err == nil && b.Profile.KnownTrackers[e] {
+			return false
+		}
+	}
+	return true
+}
+
+func hostOf(pageURL string) string {
+	u, err := url.Parse(pageURL)
+	if err != nil {
+		return ""
+	}
+	return strings.ToLower(u.Hostname())
+}
+
+// refererFrom computes the Referer value a subresource request gets
+// from its page: the full URL when the page is same-origin with the
+// target or the site opted into unsafe-url (the GET-form sites), the
+// origin otherwise — Firefox 88's default policy.
+func refererFrom(s *site.Site, pageURL, targetHost string) string {
+	pageHost := hostOf(pageURL)
+	sameSite := !psl.IsThirdParty(pageHost, targetHost)
+	if sameSite || s.SignupGET {
+		// Badly-coded GET-form sites also ship
+		// `Referrer-Policy: unsafe-url`, which is what makes their
+		// accidental leak observable cross-origin (§4.1).
+		return pageURL
+	}
+	u, err := url.Parse(pageURL)
+	if err != nil {
+		return ""
+	}
+	return u.Scheme + "://" + u.Host + "/"
+}
+
+// VisitPage renders a page: the document request, one first-party asset,
+// and every embedded tag's resource load. subpage selects the §5.2
+// persistence context (only OnSubpages tags load).
+func (b *Browser) VisitPage(s *site.Site, pageURL string, phase httpmodel.Phase, subpage bool) {
+	b.Do(httpmodel.Request{
+		Method: "GET", URL: pageURL, Type: httpmodel.TypeDocument,
+	}, pageURL, phase, "", httpmodel.Response{})
+	b.RenderSubresources(s, pageURL, phase, subpage)
+}
+
+// RenderSubresources loads a page's asset and tags without re-issuing
+// the document request — used after form submissions, where the
+// navigation request already happened.
+func (b *Browser) RenderSubresources(s *site.Site, pageURL string, phase httpmodel.Phase, subpage bool) {
+	asset := s.PageURL("/static/app.js")
+	b.Do(httpmodel.Request{
+		Method: "GET", URL: asset, Type: httpmodel.TypeScript, Initiator: pageURL,
+	}, pageURL, phase, refererFrom(s, pageURL, s.Host()), httpmodel.Response{})
+
+	for _, tag := range s.TagsOn(subpage) {
+		req := tag.LoadRequest(pageURL)
+		b.Do(req, pageURL, phase, refererFrom(s, pageURL, req.Host()), httpmodel.Response{})
+	}
+}
+
+// FireAuthEvent makes every action-bearing tag on the page emit its leak
+// requests for an authentication event. Cookie-channel actions set their
+// identifying cookie first, then issue the tag's beacon so the cookie
+// travels. times > 1 repeats the emission (subpage view + interaction).
+func (b *Browser) FireAuthEvent(s *site.Site, pageURL string, phase httpmodel.Phase, subpage bool, p pii.Persona, times int) {
+	if times < 1 {
+		times = 1
+	}
+	for _, tag := range s.TagsOn(subpage) {
+		if len(tag.Actions) == 0 {
+			continue
+		}
+		for rep := 0; rep < times; rep++ {
+			for _, action := range tag.Actions {
+				req, cookies := tag.LeakRequest(action, pageURL, p)
+				for _, c := range cookies {
+					// Identifying cookies are minted by script on
+					// the (cloaked, first-party) tag host.
+					b.SetCookie(c)
+				}
+				b.Do(req, pageURL, phase, refererFrom(s, pageURL, req.Host()), httpmodel.Response{})
+			}
+		}
+	}
+}
+
+// SubmitForm issues the signup/signin form submission as a top-level
+// navigation and returns the result page URL.
+func (b *Browser) SubmitForm(s *site.Site, action string, fields []site.FormField, phase httpmodel.Phase, fromPage string) string {
+	u, err := url.Parse(action)
+	if err != nil {
+		return action
+	}
+	req := httpmodel.Request{Method: "POST", URL: action, Type: httpmodel.TypeDocument, Initiator: fromPage}
+	if u.RawQuery != "" {
+		// A GET form: fields ride in the URL.
+		req.Method = "GET"
+	} else {
+		vals := url.Values{}
+		for _, f := range fields {
+			vals.Set(f.Name, f.Value)
+		}
+		req.Body = []byte(vals.Encode())
+		req.BodyType = "application/x-www-form-urlencoded"
+	}
+	resp := httpmodel.Response{
+		Status: 302,
+		SetCookies: []httpmodel.Cookie{{
+			Name: "session", Value: "sess-" + s.Domain, Domain: s.Host(),
+		}},
+	}
+	b.Do(req, action, phase, fromPage, resp)
+	return action
+}

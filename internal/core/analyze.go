@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"piileak/internal/httpmodel"
+	"piileak/internal/pii"
+)
+
+// Analysis aggregates detected leaks into the paper's §4.2 figures.
+type Analysis struct {
+	// Leaks is the input, unmodified.
+	Leaks []Leak
+	// TotalSites is the crawled-site population (307), for the
+	// headline leak rate.
+	TotalSites int
+
+	// Senders and Receivers are the distinct populations, sorted.
+	Senders   []string
+	Receivers []string
+
+	// SenderReceivers maps sender -> receiver set.
+	SenderReceivers map[string]map[string]bool
+	// ReceiverSenders maps receiver -> sender set.
+	ReceiverSenders map[string]map[string]bool
+
+	// LeakyRequests is the number of distinct requests containing
+	// leaked PII (the paper's 1,522).
+	LeakyRequests int
+}
+
+// Analyze builds the aggregate view.
+func Analyze(leaks []Leak, totalSites int) *Analysis {
+	a := &Analysis{
+		Leaks:           leaks,
+		TotalSites:      totalSites,
+		SenderReceivers: map[string]map[string]bool{},
+		ReceiverSenders: map[string]map[string]bool{},
+	}
+	requests := map[string]bool{}
+	for _, l := range leaks {
+		if a.SenderReceivers[l.Site] == nil {
+			a.SenderReceivers[l.Site] = map[string]bool{}
+		}
+		a.SenderReceivers[l.Site][l.Receiver] = true
+		if a.ReceiverSenders[l.Receiver] == nil {
+			a.ReceiverSenders[l.Receiver] = map[string]bool{}
+		}
+		a.ReceiverSenders[l.Receiver][l.Site] = true
+		requests[fmt.Sprintf("%s#%d", l.Site, l.Seq)] = true
+	}
+	a.LeakyRequests = len(requests)
+	for s := range a.SenderReceivers {
+		a.Senders = append(a.Senders, s)
+	}
+	for r := range a.ReceiverSenders {
+		a.Receivers = append(a.Receivers, r)
+	}
+	sort.Strings(a.Senders)
+	sort.Strings(a.Receivers)
+	return a
+}
+
+// Headline carries the §4.2 opening statistics.
+type Headline struct {
+	TotalSites        int
+	Senders           int
+	Receivers         int
+	LeakRate          float64 // senders / total sites
+	LeakyRequests     int
+	MeanReceivers     float64 // receivers per sender
+	SendersAtLeast3   int
+	SendersAtLeast3Pc float64
+	MaxReceivers      int
+	MaxReceiverSite   string
+}
+
+// Headline computes the study's headline numbers.
+func (a *Analysis) Headline() Headline {
+	h := Headline{
+		TotalSites:    a.TotalSites,
+		Senders:       len(a.Senders),
+		Receivers:     len(a.Receivers),
+		LeakyRequests: a.LeakyRequests,
+	}
+	if a.TotalSites > 0 {
+		h.LeakRate = 100 * float64(h.Senders) / float64(a.TotalSites)
+	}
+	total := 0
+	// Iterate the sorted sender list so ties at the maximum resolve
+	// deterministically.
+	for _, sender := range a.Senders {
+		n := len(a.SenderReceivers[sender])
+		total += n
+		if n >= 3 {
+			h.SendersAtLeast3++
+		}
+		if n > h.MaxReceivers {
+			h.MaxReceivers = n
+			h.MaxReceiverSite = sender
+		}
+	}
+	if h.Senders > 0 {
+		h.MeanReceivers = float64(total) / float64(h.Senders)
+		h.SendersAtLeast3Pc = 100 * float64(h.SendersAtLeast3) / float64(h.Senders)
+	}
+	return h
+}
+
+// BreakdownRow is one row of a Table 1-style breakdown.
+type BreakdownRow struct {
+	Label     string
+	Senders   int
+	Receivers int
+}
+
+// pctRow renders counts against the sender/receiver populations.
+func (a *Analysis) row(label string, senders, receivers map[string]bool) BreakdownRow {
+	return BreakdownRow{Label: label, Senders: len(senders), Receivers: len(receivers)}
+}
+
+// ByMethod reproduces Table 1a: per-channel sender/receiver counts plus
+// the multi-channel "combined" row. Rows overlap (a sender using two
+// channels appears in both), exactly as in the paper.
+func (a *Analysis) ByMethod() []BreakdownRow {
+	senderMethods := map[string]map[httpmodel.SurfaceKind]bool{}
+	receiverMethods := map[string]map[httpmodel.SurfaceKind]bool{}
+	for _, l := range a.Leaks {
+		if senderMethods[l.Site] == nil {
+			senderMethods[l.Site] = map[httpmodel.SurfaceKind]bool{}
+		}
+		senderMethods[l.Site][l.Method] = true
+		if receiverMethods[l.Receiver] == nil {
+			receiverMethods[l.Receiver] = map[httpmodel.SurfaceKind]bool{}
+		}
+		receiverMethods[l.Receiver][l.Method] = true
+	}
+
+	var rows []BreakdownRow
+	for _, m := range httpmodel.AllSurfaceKinds {
+		s, r := map[string]bool{}, map[string]bool{}
+		for sender, ms := range senderMethods {
+			if ms[m] {
+				s[sender] = true
+			}
+		}
+		for recv, ms := range receiverMethods {
+			if ms[m] {
+				r[recv] = true
+			}
+		}
+		rows = append(rows, a.row(methodLabel(m), s, r))
+	}
+	s, r := map[string]bool{}, map[string]bool{}
+	for sender, ms := range senderMethods {
+		if len(ms) >= 2 {
+			s[sender] = true
+		}
+	}
+	for recv, ms := range receiverMethods {
+		if len(ms) >= 2 {
+			r[recv] = true
+		}
+	}
+	rows = append(rows, a.row("combined", s, r))
+	return rows
+}
+
+func methodLabel(m httpmodel.SurfaceKind) string {
+	switch m {
+	case httpmodel.SurfaceReferer:
+		return "referer header"
+	case httpmodel.SurfaceURI:
+		return "uri"
+	case httpmodel.SurfaceBody:
+		return "payload body"
+	case httpmodel.SurfaceCookie:
+		return "cookie"
+	}
+	return string(m)
+}
+
+// Table1bOrder is the paper's encoding-row ordering.
+var Table1bOrder = []string{"plaintext", "base64", "md5", "sha1", "sha256", "sha256ofmd5"}
+
+// ByEncoding reproduces Table 1b: sender/receiver counts per
+// encoding/hash label, the long tail folded into "other", plus the
+// multi-encoding "combined" row.
+func (a *Analysis) ByEncoding() []BreakdownRow {
+	senderLabels := map[string]map[string]bool{}
+	receiverLabels := map[string]map[string]bool{}
+	for _, l := range a.Leaks {
+		lab := l.EncodingLabel()
+		if senderLabels[l.Site] == nil {
+			senderLabels[l.Site] = map[string]bool{}
+		}
+		senderLabels[l.Site][lab] = true
+		if receiverLabels[l.Receiver] == nil {
+			receiverLabels[l.Receiver] = map[string]bool{}
+		}
+		receiverLabels[l.Receiver][lab] = true
+	}
+
+	known := map[string]bool{}
+	for _, lab := range Table1bOrder {
+		known[lab] = true
+	}
+
+	var rows []BreakdownRow
+	for _, lab := range Table1bOrder {
+		s, r := map[string]bool{}, map[string]bool{}
+		for sender, ls := range senderLabels {
+			if ls[lab] {
+				s[sender] = true
+			}
+		}
+		for recv, ls := range receiverLabels {
+			if ls[lab] {
+				r[recv] = true
+			}
+		}
+		rows = append(rows, a.row(lab, s, r))
+	}
+	// Fold unexpected labels into "other" so nothing is silently lost.
+	s, r := map[string]bool{}, map[string]bool{}
+	for sender, ls := range senderLabels {
+		for lab := range ls {
+			if !known[lab] {
+				s[sender] = true
+			}
+		}
+	}
+	for recv, ls := range receiverLabels {
+		for lab := range ls {
+			if !known[lab] {
+				r[recv] = true
+			}
+		}
+	}
+	if len(s) > 0 || len(r) > 0 {
+		rows = append(rows, a.row("other", s, r))
+	}
+	s, r = map[string]bool{}, map[string]bool{}
+	for sender, ls := range senderLabels {
+		if len(ls) >= 2 {
+			s[sender] = true
+		}
+	}
+	for recv, ls := range receiverLabels {
+		if len(ls) >= 2 {
+			r[recv] = true
+		}
+	}
+	rows = append(rows, a.row("combined", s, r))
+	return rows
+}
+
+// ByPIIType reproduces Table 1c: senders/receivers bucketed by the *set*
+// of PII types they leak/receive.
+func (a *Analysis) ByPIIType() []BreakdownRow {
+	senderTypes := map[string]map[pii.Type]bool{}
+	receiverTypes := map[string]map[pii.Type]bool{}
+	for _, l := range a.Leaks {
+		if senderTypes[l.Site] == nil {
+			senderTypes[l.Site] = map[pii.Type]bool{}
+		}
+		senderTypes[l.Site][l.Token.Field.Type] = true
+		if receiverTypes[l.Receiver] == nil {
+			receiverTypes[l.Receiver] = map[pii.Type]bool{}
+		}
+		receiverTypes[l.Receiver][l.Token.Field.Type] = true
+	}
+
+	bucket := func(ts map[pii.Type]bool) string {
+		var names []string
+		for t := range ts {
+			names = append(names, string(t))
+		}
+		sort.Strings(names)
+		return strings.Join(names, ",")
+	}
+	senderBuckets := map[string]map[string]bool{}
+	receiverBuckets := map[string]map[string]bool{}
+	for sender, ts := range senderTypes {
+		b := bucket(ts)
+		if senderBuckets[b] == nil {
+			senderBuckets[b] = map[string]bool{}
+		}
+		senderBuckets[b][sender] = true
+	}
+	for recv, ts := range receiverTypes {
+		b := bucket(ts)
+		if receiverBuckets[b] == nil {
+			receiverBuckets[b] = map[string]bool{}
+		}
+		receiverBuckets[b][recv] = true
+	}
+
+	labels := map[string]bool{}
+	for b := range senderBuckets {
+		labels[b] = true
+	}
+	for b := range receiverBuckets {
+		labels[b] = true
+	}
+	ordered := make([]string, 0, len(labels))
+	for b := range labels {
+		ordered = append(ordered, b)
+	}
+	// Email first, then by descending sender count for a stable,
+	// paper-like ordering.
+	sort.Slice(ordered, func(x, y int) bool {
+		sx, sy := len(senderBuckets[ordered[x]]), len(senderBuckets[ordered[y]])
+		if sx != sy {
+			return sx > sy
+		}
+		return ordered[x] < ordered[y]
+	})
+	var rows []BreakdownRow
+	for _, b := range ordered {
+		rows = append(rows, a.row(b, senderBuckets[b], receiverBuckets[b]))
+	}
+	return rows
+}
+
+// ReceiverRank is one Figure 2 bar: a receiver and the share of senders
+// leaking to it.
+type ReceiverRank struct {
+	Receiver  string
+	Senders   int
+	SenderPct float64
+	Cloaked   bool // reached via CNAME cloaking (report alias)
+}
+
+// TopReceivers reproduces Figure 2: the top-n receiver domains by the
+// number of distinct senders.
+func (a *Analysis) TopReceivers(n int) []ReceiverRank {
+	cloaked := map[string]bool{}
+	for _, l := range a.Leaks {
+		if l.Cloaked {
+			cloaked[l.Receiver] = true
+		}
+	}
+	ranks := make([]ReceiverRank, 0, len(a.ReceiverSenders))
+	for recv, senders := range a.ReceiverSenders {
+		r := ReceiverRank{Receiver: recv, Senders: len(senders), Cloaked: cloaked[recv]}
+		if len(a.Senders) > 0 {
+			r.SenderPct = 100 * float64(r.Senders) / float64(len(a.Senders))
+		}
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(x, y int) bool {
+		if ranks[x].Senders != ranks[y].Senders {
+			return ranks[x].Senders > ranks[y].Senders
+		}
+		return ranks[x].Receiver < ranks[y].Receiver
+	})
+	if n > 0 && len(ranks) > n {
+		ranks = ranks[:n]
+	}
+	return ranks
+}

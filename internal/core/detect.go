@@ -1,0 +1,195 @@
+// Package core implements the paper's primary contribution: PII-leakage
+// detection in authentication-flow traffic (§4.1) and its aggregate
+// analyses (§4.2) — leakage by channel, by encoding/hashing, by PII
+// type, and the receiver popularity ranking of Figure 2.
+//
+// The detector is pure: it sees only captured HTTP records, classifies
+// third parties with the public suffix list plus CNAME uncloaking, and
+// matches the persona's candidate-token set (plaintext, encoded and
+// hashed PII) on every leak surface of every third-party request.
+package core
+
+import (
+	"sort"
+
+	"piileak/internal/dnssim"
+	"piileak/internal/httpmodel"
+	"piileak/internal/pii"
+	"piileak/internal/psl"
+)
+
+// Leak is one detected PII transfer to a third party.
+type Leak struct {
+	// Site is the first-party (sender) registrable domain.
+	Site string `json:"site"`
+	// Receiver is the third party's registrable domain, after CNAME
+	// uncloaking.
+	Receiver string `json:"receiver"`
+	// Cloaked marks receivers reached through a first-party CNAME.
+	Cloaked bool `json:"cloaked,omitempty"`
+	// Method is the leak channel (referer, uri, payload, cookie).
+	Method httpmodel.SurfaceKind `json:"method"`
+	// Param is the parameter or cookie name carrying the token, when
+	// the match occurred on a named surface ("" otherwise). It feeds
+	// the §5.2 trackid mining.
+	Param string `json:"param,omitempty"`
+	// Token is the matched candidate token (value, PII field, chain).
+	Token pii.Token `json:"token"`
+	// RequestURL, Phase and Seq locate the leak in the crawl.
+	RequestURL string          `json:"request_url"`
+	Phase      httpmodel.Phase `json:"phase"`
+	Seq        int             `json:"seq"`
+}
+
+// EncodingLabel returns the leak's Table 1b vocabulary label.
+func (l *Leak) EncodingLabel() string { return pii.ChainLabel(l.Token.Chain) }
+
+// Detector matches candidate tokens in third-party traffic.
+type Detector struct {
+	// Candidates is the persona's compiled token set.
+	Candidates *pii.CandidateSet
+	// PSL splits first- from third-party hosts.
+	PSL *psl.List
+	// CNAME uncloaks first-party subdomains; nil disables uncloaking.
+	CNAME *dnssim.Classifier
+}
+
+// NewDetector wires a detector with the default suffix list.
+func NewDetector(candidates *pii.CandidateSet, cname *dnssim.Classifier) *Detector {
+	return &Detector{Candidates: candidates, PSL: psl.Default(), CNAME: cname}
+}
+
+// receiverOf classifies a request host against the visited site,
+// returning the receiving third party ("" when first-party).
+func (d *Detector) receiverOf(siteDomain, host string) (receiver string, cloaked bool) {
+	if host == "" {
+		return "", false
+	}
+	if d.PSL.IsThirdParty(siteDomain, host) {
+		e, err := d.PSL.ETLDPlusOne(host)
+		if err != nil {
+			e = psl.Normalize(host)
+		}
+		return e, false
+	}
+	// Nominally first-party: check for CNAME cloaking.
+	if d.CNAME != nil {
+		if tracker, ok := d.CNAME.Uncloak(host); ok {
+			return tracker, true
+		}
+	}
+	return "", false
+}
+
+// DetectRecord returns the leaks in one captured request. Matches are
+// deduplicated per (method, token); named surfaces win the parameter
+// attribution over whole-region surfaces.
+func (d *Detector) DetectRecord(siteDomain string, rec *httpmodel.Record) []Leak {
+	receiver, cloaked := d.receiverOf(siteDomain, rec.Request.Host())
+	if receiver == "" {
+		return nil
+	}
+	surfaces := httpmodel.Surfaces(&rec.Request)
+
+	type key struct {
+		method httpmodel.SurfaceKind
+		value  string
+	}
+	found := map[key]*Leak{}
+	var order []key
+
+	scan := func(named bool) {
+		for _, s := range surfaces {
+			if (s.Name != "") != named {
+				continue
+			}
+			for _, tok := range d.Candidates.FindIn(s.Data) {
+				k := key{s.Kind, tok.Value}
+				if l, ok := found[k]; ok {
+					if l.Param == "" && s.Name != "" {
+						l.Param = s.Name
+					}
+					continue
+				}
+				found[k] = &Leak{
+					Site:       siteDomain,
+					Receiver:   receiver,
+					Cloaked:    cloaked,
+					Method:     s.Kind,
+					Param:      s.Name,
+					Token:      tok,
+					RequestURL: rec.Request.URL,
+					Phase:      rec.Phase,
+					Seq:        rec.Seq,
+				}
+				order = append(order, k)
+			}
+		}
+	}
+	scan(true)  // named surfaces first: they own parameter attribution
+	scan(false) // whole-region surfaces catch the rest
+
+	if len(order) == 0 {
+		return nil
+	}
+	out := make([]Leak, 0, len(order))
+	for _, k := range order {
+		out = append(out, *found[k])
+	}
+	return out
+}
+
+// DetectSite scans all records of one site crawl.
+func (d *Detector) DetectSite(siteDomain string, records []httpmodel.Record) []Leak {
+	var out []Leak
+	for i := range records {
+		out = append(out, d.DetectRecord(siteDomain, &records[i])...)
+	}
+	return out
+}
+
+// DecodeDetect is the alternative detection strategy of ablation A3:
+// instead of pre-computing encoded candidate tokens, it iteratively
+// applies every invertible codec to each surface up to maxDepth times
+// and scans the decoded bytes. It catches encoding-wrapped leaks with a
+// much smaller candidate set, but misses encodings it cannot invert and
+// tokens embedded mid-surface.
+func (d *Detector) DecodeDetect(siteDomain string, rec *httpmodel.Record, maxDepth int) []Leak {
+	receiver, cloaked := d.receiverOf(siteDomain, rec.Request.Host())
+	if receiver == "" {
+		return nil
+	}
+	var out []Leak
+	seen := map[string]bool{}
+	var scanData func(s httpmodel.Surface, data []byte, depth int)
+	scanData = func(s httpmodel.Surface, data []byte, depth int) {
+		for _, tok := range d.Candidates.FindIn(data) {
+			k := string(s.Kind) + "|" + tok.Value
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, Leak{
+				Site: siteDomain, Receiver: receiver, Cloaked: cloaked,
+				Method: s.Kind, Param: s.Name, Token: tok,
+				RequestURL: rec.Request.URL, Phase: rec.Phase, Seq: rec.Seq,
+			})
+		}
+		if depth >= maxDepth {
+			return
+		}
+		for _, name := range invertibleCodecs {
+			c, _ := lookupCodec(name)
+			dec, err := c.Decode(data)
+			if err != nil || len(dec) == 0 {
+				continue
+			}
+			scanData(s, dec, depth+1)
+		}
+	}
+	for _, s := range httpmodel.Surfaces(&rec.Request) {
+		scanData(s, s.Data, 0)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Token.Value < out[b].Token.Value })
+	return out
+}

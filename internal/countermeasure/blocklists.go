@@ -1,0 +1,270 @@
+package countermeasure
+
+import (
+	"sort"
+
+	"piileak/internal/blocklist"
+	"piileak/internal/core"
+	"piileak/internal/crawler"
+	"piileak/internal/httpmodel"
+	"piileak/internal/psl"
+)
+
+// Cell is one Table 4 entry: how many of a per-method population a
+// filter configuration covers.
+type Cell struct {
+	Count int
+	Total int
+}
+
+// Pct renders the coverage percentage.
+func (c Cell) Pct() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.Count) / float64(c.Total)
+}
+
+// Table4Row is one (metric, method) row with the three list
+// configurations.
+type Table4Row struct {
+	Metric                          string // "senders" or "receivers"
+	Method                          string // Table 1a vocabulary, plus "combined" and "total"
+	EasyList, EasyPrivacy, Combined Cell
+}
+
+// Table4 is the §7.2 result.
+type Table4 struct {
+	Rows []Table4Row
+	// MissedTrackers lists Table 2 tracking providers the combined
+	// lists fail to cover (the paper's custora/taboola/zendesk).
+	MissedTrackers []string
+}
+
+// ListSet bundles the parsed filter lists.
+type ListSet struct {
+	EasyList    *blocklist.List
+	EasyPrivacy *blocklist.List
+}
+
+// ParseLists compiles the two list texts.
+func ParseLists(easyListText, easyPrivacyText string) (ListSet, error) {
+	el, err := blocklist.ParseList("easylist", easyListText)
+	if err != nil {
+		return ListSet{}, err
+	}
+	ep, err := blocklist.ParseList("easyprivacy", easyPrivacyText)
+	if err != nil {
+		return ListSet{}, err
+	}
+	return ListSet{EasyList: el, EasyPrivacy: ep}, nil
+}
+
+// leakBlocked reports whether a leak would have been prevented by the
+// engine: the leaky request itself, or any request in its initiator
+// chain (the tag scripts that caused it), matches a block rule (§7.2's
+// methodology).
+func leakBlocked(engine *blocklist.Engine, l *core.Leak, chain []httpmodel.Request, pslList *psl.List, siteHost string) bool {
+	reqs := append([]httpmodel.Request{{URL: l.RequestURL, Type: httpmodel.TypeOther}}, chain...)
+	for i := range reqs {
+		r := &reqs[i]
+		typ := r.Type
+		if typ == "" {
+			typ = httpmodel.TypeOther
+		}
+		ri := blocklist.RequestInfo{
+			URL:        r.URL,
+			PageHost:   siteHost,
+			Type:       typ,
+			ThirdParty: pslList.IsThirdParty(siteHost, hostOf(r.URL)),
+		}
+		if engine.ShouldBlock(ri) {
+			return true
+		}
+	}
+	return false
+}
+
+func hostOf(rawURL string) string {
+	r := httpmodel.Request{URL: rawURL}
+	return r.Host()
+}
+
+// initiatorChain walks Initiator links through a site's records,
+// returning the requests that led to the one with the given sequence
+// number.
+func initiatorChain(records []httpmodel.Record, seq int) []httpmodel.Request {
+	byURL := map[string]*httpmodel.Record{}
+	var start *httpmodel.Record
+	for i := range records {
+		r := &records[i]
+		byURL[r.Request.URL] = r
+		if r.Seq == seq {
+			start = r
+		}
+	}
+	if start == nil {
+		return nil
+	}
+	var chain []httpmodel.Request
+	cur := start
+	for depth := 0; depth < 8; depth++ {
+		init := cur.Request.Initiator
+		if init == "" {
+			break
+		}
+		next, ok := byURL[init]
+		if !ok || next == cur {
+			break
+		}
+		chain = append(chain, next.Request)
+		cur = next
+	}
+	return chain
+}
+
+// EvaluateBlocklists reproduces Table 4: for each (metric, method) cell
+// it counts the senders (receivers) whose every leak through that
+// channel would have been blocked by EasyList alone, EasyPrivacy alone,
+// and both combined.
+func EvaluateBlocklists(leaks []core.Leak, ds *crawler.Dataset, lists ListSet, trackers []string) *Table4 {
+	pslList := psl.Default()
+	engines := map[string]*blocklist.Engine{
+		"el":       blocklist.NewEngine(lists.EasyList),
+		"ep":       blocklist.NewEngine(lists.EasyPrivacy),
+		"combined": blocklist.NewEngine(lists.EasyList, lists.EasyPrivacy),
+	}
+
+	siteRecords := map[string][]httpmodel.Record{}
+	for i := range ds.Crawls {
+		siteRecords[ds.Crawls[i].Domain] = ds.Crawls[i].Records
+	}
+
+	// Per leak, per engine: blocked?
+	type leakVerdict struct {
+		leak    *core.Leak
+		blocked map[string]bool
+	}
+	verdicts := make([]leakVerdict, 0, len(leaks))
+	for i := range leaks {
+		l := &leaks[i]
+		chain := initiatorChain(siteRecords[l.Site], l.Seq)
+		v := leakVerdict{leak: l, blocked: map[string]bool{}}
+		for name, eng := range engines {
+			v.blocked[name] = leakBlocked(eng, l, chain, pslList, "www."+l.Site)
+		}
+		verdicts = append(verdicts, v)
+	}
+
+	// For each method: population and covered sets per engine, with
+	// "covered" meaning every leak of that entity through the method is
+	// blocked.
+	methods := append([]httpmodel.SurfaceKind{}, httpmodel.AllSurfaceKinds...)
+	labels := map[httpmodel.SurfaceKind]string{
+		httpmodel.SurfaceReferer: "referer",
+		httpmodel.SurfaceURI:     "uri",
+		httpmodel.SurfaceBody:    "payload",
+		httpmodel.SurfaceCookie:  "cookie",
+	}
+
+	t := &Table4{}
+	for _, metric := range []string{"senders", "receivers"} {
+		entityOf := func(l *core.Leak) string {
+			if metric == "senders" {
+				return l.Site
+			}
+			return l.Receiver
+		}
+		// entityMethodLeaks[entity][method] -> verdicts
+		eml := map[string]map[httpmodel.SurfaceKind][]*leakVerdict{}
+		for i := range verdicts {
+			v := &verdicts[i]
+			e := entityOf(v.leak)
+			if eml[e] == nil {
+				eml[e] = map[httpmodel.SurfaceKind][]*leakVerdict{}
+			}
+			eml[e][v.leak.Method] = append(eml[e][v.leak.Method], v)
+		}
+
+		coveredFor := func(vs []*leakVerdict, engine string) bool {
+			for _, v := range vs {
+				if !v.blocked[engine] {
+					return false
+				}
+			}
+			return len(vs) > 0
+		}
+
+		for _, m := range methods {
+			row := Table4Row{Metric: metric, Method: labels[m]}
+			for e, perMethod := range eml {
+				vs, ok := perMethod[m]
+				if !ok {
+					continue
+				}
+				_ = e
+				row.EasyList.Total++
+				row.EasyPrivacy.Total++
+				row.Combined.Total++
+				if coveredFor(vs, "el") {
+					row.EasyList.Count++
+				}
+				if coveredFor(vs, "ep") {
+					row.EasyPrivacy.Count++
+				}
+				if coveredFor(vs, "combined") {
+					row.Combined.Count++
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+
+		// Combined-method row: entities using >= 2 channels.
+		rowC := Table4Row{Metric: metric, Method: "combined"}
+		rowT := Table4Row{Metric: metric, Method: "total"}
+		for _, perMethod := range eml {
+			var all []*leakVerdict
+			for _, vs := range perMethod {
+				all = append(all, vs...)
+			}
+			addTo := func(row *Table4Row) {
+				row.EasyList.Total++
+				row.EasyPrivacy.Total++
+				row.Combined.Total++
+				if coveredFor(all, "el") {
+					row.EasyList.Count++
+				}
+				if coveredFor(all, "ep") {
+					row.EasyPrivacy.Count++
+				}
+				if coveredFor(all, "combined") {
+					row.Combined.Count++
+				}
+			}
+			if len(perMethod) >= 2 {
+				addTo(&rowC)
+			}
+			addTo(&rowT)
+		}
+		t.Rows = append(t.Rows, rowC, rowT)
+	}
+
+	// Which Table 2 tracking providers escape the combined lists?
+	blockedReceivers := map[string]bool{}
+	escaped := map[string]bool{}
+	for i := range verdicts {
+		v := &verdicts[i]
+		if v.blocked["combined"] {
+			blockedReceivers[v.leak.Receiver] = true
+		} else {
+			escaped[v.leak.Receiver] = true
+		}
+	}
+	for _, tr := range trackers {
+		if escaped[tr] {
+			t.MissedTrackers = append(t.MissedTrackers, tr)
+		}
+	}
+	sort.Strings(t.MissedTrackers)
+	return t
+}

@@ -1,0 +1,279 @@
+// Package crawler orchestrates the §3.2 data acquisition flow against
+// the synthetic ecosystem, exactly as the paper's operator did by hand:
+// visit the homepage, fill and submit the sign-up form, follow the
+// e-mailed confirmation link when required, sign in, reload the
+// logged-in page, and click through to a product subpage — recording
+// every HTTP request, response and cookie along the way.
+package crawler
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"piileak/internal/browser"
+	"piileak/internal/dnssim"
+	"piileak/internal/httpmodel"
+	"piileak/internal/mailbox"
+	"piileak/internal/pii"
+	"piileak/internal/site"
+	"piileak/internal/webgen"
+)
+
+// Outcome summarizes one site's crawl result for the funnel accounting.
+type Outcome string
+
+// Crawl outcomes (§3.2's funnel).
+const (
+	OutcomeSuccess       Outcome = "success"
+	OutcomeUnreachable   Outcome = "unreachable"
+	OutcomeNoAuthFlow    Outcome = "no_auth_flow"
+	OutcomeSignupBlocked Outcome = "signup_blocked"  // phone / ID / region policies
+	OutcomeCaptcha       Outcome = "captcha_blocked" // Brave shields broke the CAPTCHA
+)
+
+// SiteCrawl is the captured traffic of one site visit.
+type SiteCrawl struct {
+	Domain   string             `json:"domain"`
+	Rank     int                `json:"rank"`
+	Outcome  Outcome            `json:"outcome"`
+	Obstacle site.Obstacle      `json:"obstacle,omitempty"`
+	Records  []httpmodel.Record `json:"records,omitempty"`
+	// EmailConfirm and BotDetection echo the site's flow properties.
+	EmailConfirm bool `json:"email_confirm,omitempty"`
+	BotDetection bool `json:"bot_detection,omitempty"`
+}
+
+// Dataset is a full collection run. It is self-contained: the persona
+// and the DNS CNAME view travel with the records, so detection can run
+// from the JSON alone.
+type Dataset struct {
+	Browser string           `json:"browser"`
+	Persona pii.Persona      `json:"persona"`
+	Crawls  []SiteCrawl      `json:"crawls"`
+	Mailbox *mailbox.Mailbox `json:"mailbox,omitempty"`
+	Blocked map[string]int   `json:"blocked,omitempty"` // per-receiver shield blocks
+	// CNAMEs is the DNS view (host -> target) captured during the
+	// crawl, for CNAME-cloaking classification.
+	CNAMEs map[string]string `json:"cnames,omitempty"`
+}
+
+// Zone rebuilds the DNS zone from the dataset's CNAME view.
+func (d *Dataset) Zone() *dnssim.Zone {
+	z := dnssim.NewZone()
+	for host, target := range d.CNAMEs {
+		z.AddCNAME(host, target)
+	}
+	return z
+}
+
+// Successes returns the crawls that completed the auth flow.
+func (d *Dataset) Successes() []*SiteCrawl {
+	var out []*SiteCrawl
+	for i := range d.Crawls {
+		if d.Crawls[i].Outcome == OutcomeSuccess {
+			out = append(out, &d.Crawls[i])
+		}
+	}
+	return out
+}
+
+// FunnelCounts tallies outcomes.
+func (d *Dataset) FunnelCounts() map[Outcome]int {
+	out := map[Outcome]int{}
+	for _, c := range d.Crawls {
+		out[c.Outcome]++
+	}
+	return out
+}
+
+// TotalRecords counts captured requests.
+func (d *Dataset) TotalRecords() int {
+	n := 0
+	for _, c := range d.Crawls {
+		n += len(c.Records)
+	}
+	return n
+}
+
+// WriteJSON serializes the dataset.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}
+
+// ReadJSON deserializes a dataset.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("crawler: decoding dataset: %w", err)
+	}
+	return &d, nil
+}
+
+// Crawl runs the full §3.2 flow over every candidate site with the given
+// browser profile and returns the dataset.
+func Crawl(eco *webgen.Ecosystem, profile browser.Profile) *Dataset {
+	return CrawlSites(eco, profile, eco.Sites)
+}
+
+// CrawlSenders re-crawls only the leaking first parties — the §7.1
+// browser evaluation's workload.
+func CrawlSenders(eco *webgen.Ecosystem, profile browser.Profile) *Dataset {
+	return CrawlSites(eco, profile, eco.SenderSites)
+}
+
+// CrawlSites crawls a chosen site subset.
+func CrawlSites(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site) *Dataset {
+	ds := &Dataset{
+		Browser: profile.Name + " " + profile.Version,
+		Persona: eco.Persona,
+		Mailbox: &mailbox.Mailbox{},
+		Blocked: map[string]int{},
+		CNAMEs:  map[string]string{},
+	}
+	for _, host := range eco.Zone.Hosts() {
+		if chain, err := eco.Zone.Resolve(host); err == nil && len(chain) > 0 {
+			ds.CNAMEs[host] = chain[0]
+		}
+	}
+	b := browser.New(profile, eco.Zone)
+	for _, s := range sites {
+		crawl := crawlOne(b, s, eco.Persona, ds.Mailbox)
+		ds.Crawls = append(ds.Crawls, crawl)
+		for recv, n := range b.Blocked {
+			ds.Blocked[recv] += n
+		}
+		b.Reset()
+	}
+	return ds
+}
+
+// crawlOne executes the flow on one site.
+func crawlOne(b *browser.Browser, s *site.Site, p pii.Persona, mbox *mailbox.Mailbox) SiteCrawl {
+	crawl := SiteCrawl{
+		Domain:       s.Domain,
+		Rank:         s.Rank,
+		Obstacle:     s.Obstacle,
+		EmailConfirm: s.EmailConfirm,
+		BotDetection: s.BotDetection,
+	}
+
+	switch s.Obstacle {
+	case site.ObstacleUnreachable:
+		crawl.Outcome = OutcomeUnreachable
+		return crawl
+	case site.ObstacleNoAuth:
+		b.VisitPage(s, s.BaseURL(), httpmodel.PhaseHomepage, false)
+		crawl.Outcome = OutcomeNoAuthFlow
+		crawl.Records = b.Records
+		return crawl
+	case site.ObstaclePhoneVerify, site.ObstacleIDDocuments, site.ObstacleRegionBlock:
+		b.VisitPage(s, s.BaseURL(), httpmodel.PhaseHomepage, false)
+		b.VisitPage(s, s.PageURL("/account/signup"), httpmodel.PhaseSignup, false)
+		crawl.Outcome = OutcomeSignupBlocked
+		crawl.Records = b.Records
+		return crawl
+	}
+
+	// Homepage, then the sign-up page.
+	b.VisitPage(s, s.BaseURL(), httpmodel.PhaseHomepage, false)
+	signupPage := s.PageURL("/account/signup")
+	b.VisitPage(s, signupPage, httpmodel.PhaseSignup, false)
+
+	// Bot detection: a human operator passes; Brave's shields break
+	// the CAPTCHA widget on one site (§7.1).
+	if s.BotDetection && s.CaptchaBreaksUnderShields && b.Profile.Shields != nil {
+		crawl.Outcome = OutcomeCaptcha
+		crawl.Records = b.Records
+		return crawl
+	}
+
+	// Submit the sign-up form. GET forms land on the action URL with
+	// PII in the query string (the referer-leak source); POST forms
+	// redirect to a clean welcome page.
+	action := s.SignupActionURL(p)
+	resultPage := action
+	if !s.SignupGET {
+		resultPage = s.PageURL("/account/welcome")
+	}
+	b.SubmitForm(s, action, s.FormFields(p), httpmodel.PhaseSignup, signupPage)
+	b.RenderSubresources(s, resultPage, httpmodel.PhaseSignup, false)
+	b.FireAuthEvent(s, resultPage, httpmodel.PhaseSignup, false, p, 1)
+
+	// E-mail confirmation when the site requires it.
+	if s.EmailConfirm {
+		link := s.PageURL("/account/confirm?token=tok-" + s.Domain)
+		mbox.DeliverConfirmation(s.Domain, link)
+		b.VisitPage(s, link, httpmodel.PhaseConfirm, false)
+	}
+
+	// Sign in with the created account.
+	loginPage := s.PageURL("/account/login")
+	b.VisitPage(s, loginPage, httpmodel.PhaseSignin, false)
+	home := s.PageURL("/account/home")
+	b.SubmitForm(s, s.PageURL("/account/login/submit"), []site.FormField{
+		{Name: "email", Value: p.Email},
+		{Name: "password", Value: "correct-horse-battery"},
+	}, httpmodel.PhaseSignin, loginPage)
+	b.RenderSubresources(s, home, httpmodel.PhaseSignin, false)
+	b.FireAuthEvent(s, home, httpmodel.PhaseSignin, false, p, 1)
+
+	// Reload the logged-in page.
+	b.VisitPage(s, home, httpmodel.PhaseReload, false)
+	b.FireAuthEvent(s, home, httpmodel.PhaseReload, false, p, 1)
+
+	// Click through to a product subpage (§5.2's persistence probe):
+	// persistent tags fire on the view and again on an interaction.
+	product := s.PageURL("/product/8812")
+	b.VisitPage(s, product, httpmodel.PhaseSubpage, true)
+	b.FireAuthEvent(s, product, httpmodel.PhaseSubpage, true, p, 2)
+
+	// Post-signup marketing mail.
+	mbox.DeliverMarketing(s.Domain, s.MarketingMails, s.SpamMails)
+
+	crawl.Outcome = OutcomeSuccess
+	crawl.Records = b.Records
+	return crawl
+}
+
+// WriteJSONFile writes the dataset to a path, gzip-compressing when the
+// name ends in ".gz" (full datasets are ~10 MB of JSON).
+func (d *Dataset) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer gz.Close()
+		w = gz
+	}
+	return d.WriteJSON(w)
+}
+
+// ReadJSONFile loads a dataset from a path, transparently decompressing
+// ".gz" files.
+func ReadJSONFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: %w", err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return ReadJSON(r)
+}

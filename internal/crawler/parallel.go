@@ -1,0 +1,85 @@
+package crawler
+
+import (
+	"runtime"
+	"sync"
+
+	"piileak/internal/browser"
+	"piileak/internal/mailbox"
+	"piileak/internal/site"
+	"piileak/internal/webgen"
+)
+
+// CrawlParallel is Crawl with a bounded worker pool. Site crawls are
+// independent (each gets a fresh browser session), so the dataset is
+// byte-identical to the serial crawl: results are merged in site order,
+// including the mailbox stream and the per-receiver block counters.
+//
+// workers <= 0 selects GOMAXPROCS.
+func CrawlParallel(eco *webgen.Ecosystem, profile browser.Profile, workers int) *Dataset {
+	return crawlParallel(eco, profile, eco.Sites, workers)
+}
+
+func crawlParallel(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, workers int) *Dataset {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sites) {
+		workers = len(sites)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type result struct {
+		crawl   SiteCrawl
+		mbox    mailbox.Mailbox
+		blocked map[string]int
+	}
+	results := make([]result, len(sites))
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := browser.New(profile, eco.Zone)
+			for i := range next {
+				var mbox mailbox.Mailbox
+				results[i] = result{
+					crawl:   crawlOne(b, sites[i], eco.Persona, &mbox),
+					mbox:    mbox,
+					blocked: b.Blocked,
+				}
+				b.Reset()
+			}
+		}()
+	}
+	for i := range sites {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	ds := &Dataset{
+		Browser: profile.Name + " " + profile.Version,
+		Persona: eco.Persona,
+		Mailbox: &mailbox.Mailbox{},
+		Blocked: map[string]int{},
+		CNAMEs:  map[string]string{},
+	}
+	for _, host := range eco.Zone.Hosts() {
+		if chain, err := eco.Zone.Resolve(host); err == nil && len(chain) > 0 {
+			ds.CNAMEs[host] = chain[0]
+		}
+	}
+	for i := range results {
+		ds.Crawls = append(ds.Crawls, results[i].crawl)
+		ds.Mailbox.Messages = append(ds.Mailbox.Messages, results[i].mbox.Messages...)
+		for recv, n := range results[i].blocked {
+			ds.Blocked[recv] += n
+		}
+	}
+	return ds
+}

@@ -1,0 +1,319 @@
+// Package dnswire implements the RFC 1035 DNS message wire format —
+// header, question and resource-record encoding with domain-name
+// compression — and a tiny authoritative responder that answers CNAME
+// queries from a dnssim zone.
+//
+// The study itself only needs the logical CNAME view, but the wire
+// implementation lets the simulated resolver speak the real protocol:
+// the tests exchange binary messages end to end, including compression
+// pointers, exactly as a stub resolver and server would.
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// DNS constants used by the responder.
+const (
+	TypeA     = 1
+	TypeCNAME = 5
+	ClassIN   = 1
+
+	// Response codes.
+	RcodeNoError  = 0
+	RcodeNXDomain = 3
+)
+
+// Header is the 12-byte DNS message header.
+type Header struct {
+	ID uint16
+	// Flags fields, decomposed.
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	Rcode              uint8
+
+	QDCount, ANCount, NSCount, ARCount uint16
+}
+
+func (h *Header) pack() [12]byte {
+	var b [12]byte
+	binary.BigEndian.PutUint16(b[0:2], h.ID)
+	var flags uint16
+	if h.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(h.Opcode&0xF) << 11
+	if h.Authoritative {
+		flags |= 1 << 10
+	}
+	if h.Truncated {
+		flags |= 1 << 9
+	}
+	if h.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if h.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(h.Rcode & 0xF)
+	binary.BigEndian.PutUint16(b[2:4], flags)
+	binary.BigEndian.PutUint16(b[4:6], h.QDCount)
+	binary.BigEndian.PutUint16(b[6:8], h.ANCount)
+	binary.BigEndian.PutUint16(b[8:10], h.NSCount)
+	binary.BigEndian.PutUint16(b[10:12], h.ARCount)
+	return b
+}
+
+func unpackHeader(b []byte) (Header, error) {
+	if len(b) < 12 {
+		return Header{}, fmt.Errorf("dnswire: message shorter than header")
+	}
+	flags := binary.BigEndian.Uint16(b[2:4])
+	return Header{
+		ID:                 binary.BigEndian.Uint16(b[0:2]),
+		Response:           flags&(1<<15) != 0,
+		Opcode:             uint8(flags >> 11 & 0xF),
+		Authoritative:      flags&(1<<10) != 0,
+		Truncated:          flags&(1<<9) != 0,
+		RecursionDesired:   flags&(1<<8) != 0,
+		RecursionAvailable: flags&(1<<7) != 0,
+		Rcode:              uint8(flags & 0xF),
+		QDCount:            binary.BigEndian.Uint16(b[4:6]),
+		ANCount:            binary.BigEndian.Uint16(b[6:8]),
+		NSCount:            binary.BigEndian.Uint16(b[8:10]),
+		ARCount:            binary.BigEndian.Uint16(b[10:12]),
+	}, nil
+}
+
+// Question is one query entry.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// RR is one resource record. For CNAME records Target holds the name;
+// for A records Addr holds the address.
+type RR struct {
+	Name   string
+	Type   uint16
+	Class  uint16
+	TTL    uint32
+	Target string  // CNAME
+	Addr   [4]byte // A
+}
+
+// Message is a parsed DNS message.
+type Message struct {
+	Header    Header
+	Questions []Question
+	Answers   []RR
+}
+
+// builder assembles a message with name compression.
+type builder struct {
+	buf []byte
+	// offsets remembers where each (sub)name was written for
+	// compression pointers.
+	offsets map[string]int
+}
+
+func newBuilder() *builder {
+	return &builder{offsets: map[string]int{}}
+}
+
+// writeName emits a domain name, reusing earlier occurrences via
+// compression pointers (RFC 1035 §4.1.4).
+func (b *builder) writeName(name string) error {
+	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	for name != "" {
+		if off, ok := b.offsets[name]; ok {
+			b.buf = append(b.buf, 0xC0|byte(off>>8), byte(off))
+			return nil
+		}
+		if len(b.buf) < 0x3FFF {
+			b.offsets[name] = len(b.buf)
+		}
+		label, rest, _ := strings.Cut(name, ".")
+		if len(label) == 0 || len(label) > 63 {
+			return fmt.Errorf("dnswire: invalid label %q", label)
+		}
+		b.buf = append(b.buf, byte(len(label)))
+		b.buf = append(b.buf, label...)
+		name = rest
+	}
+	b.buf = append(b.buf, 0)
+	return nil
+}
+
+func (b *builder) writeU16(v uint16) {
+	b.buf = append(b.buf, byte(v>>8), byte(v))
+}
+
+func (b *builder) writeU32(v uint32) {
+	b.buf = append(b.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Encode packs a message.
+func Encode(m *Message) ([]byte, error) {
+	b := newBuilder()
+	m.Header.QDCount = uint16(len(m.Questions))
+	m.Header.ANCount = uint16(len(m.Answers))
+	h := m.Header.pack()
+	b.buf = append(b.buf, h[:]...)
+	for _, q := range m.Questions {
+		if err := b.writeName(q.Name); err != nil {
+			return nil, err
+		}
+		b.writeU16(q.Type)
+		b.writeU16(q.Class)
+	}
+	for _, rr := range m.Answers {
+		if err := b.writeName(rr.Name); err != nil {
+			return nil, err
+		}
+		b.writeU16(rr.Type)
+		b.writeU16(rr.Class)
+		b.writeU32(rr.TTL)
+		switch rr.Type {
+		case TypeCNAME:
+			// RDLENGTH is back-patched after writing the
+			// (possibly compressed) target name.
+			lenAt := len(b.buf)
+			b.writeU16(0)
+			start := len(b.buf)
+			if err := b.writeName(rr.Target); err != nil {
+				return nil, err
+			}
+			rdlen := len(b.buf) - start
+			binary.BigEndian.PutUint16(b.buf[lenAt:lenAt+2], uint16(rdlen))
+		case TypeA:
+			b.writeU16(4)
+			b.buf = append(b.buf, rr.Addr[:]...)
+		default:
+			return nil, fmt.Errorf("dnswire: unsupported RR type %d", rr.Type)
+		}
+	}
+	return b.buf, nil
+}
+
+// readName decodes a possibly-compressed name starting at off,
+// returning the name and the offset just past it in the original
+// stream.
+func readName(msg []byte, off int) (string, int, error) {
+	var labels []string
+	jumped := false
+	end := off
+	for hops := 0; ; hops++ {
+		if hops > 64 {
+			return "", 0, fmt.Errorf("dnswire: compression loop")
+		}
+		if off >= len(msg) {
+			return "", 0, fmt.Errorf("dnswire: name runs past message")
+		}
+		c := int(msg[off])
+		switch {
+		case c == 0:
+			if !jumped {
+				end = off + 1
+			}
+			return strings.Join(labels, "."), end, nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, fmt.Errorf("dnswire: truncated pointer")
+			}
+			ptr := (c&0x3F)<<8 | int(msg[off+1])
+			if !jumped {
+				end = off + 2
+			}
+			if ptr >= off {
+				return "", 0, fmt.Errorf("dnswire: forward pointer")
+			}
+			off = ptr
+			jumped = true
+		case c&0xC0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type %#x", c)
+		default:
+			if off+1+c > len(msg) {
+				return "", 0, fmt.Errorf("dnswire: label runs past message")
+			}
+			labels = append(labels, string(msg[off+1:off+1+c]))
+			off += 1 + c
+		}
+	}
+}
+
+// Decode parses a message.
+func Decode(msg []byte) (*Message, error) {
+	h, err := unpackHeader(msg)
+	if err != nil {
+		return nil, err
+	}
+	m := &Message{Header: h}
+	off := 12
+	for i := 0; i < int(h.QDCount); i++ {
+		name, next, err := readName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if next+4 > len(msg) {
+			return nil, fmt.Errorf("dnswire: question truncated")
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(msg[next : next+2]),
+			Class: binary.BigEndian.Uint16(msg[next+2 : next+4]),
+		})
+		off = next + 4
+	}
+	for i := 0; i < int(h.ANCount); i++ {
+		name, next, err := readName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if next+10 > len(msg) {
+			return nil, fmt.Errorf("dnswire: RR header truncated")
+		}
+		rr := RR{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(msg[next : next+2]),
+			Class: binary.BigEndian.Uint16(msg[next+2 : next+4]),
+			TTL:   binary.BigEndian.Uint32(msg[next+4 : next+8]),
+		}
+		rdlen := int(binary.BigEndian.Uint16(msg[next+8 : next+10]))
+		rdStart := next + 10
+		if rdStart+rdlen > len(msg) {
+			return nil, fmt.Errorf("dnswire: RDATA truncated")
+		}
+		switch rr.Type {
+		case TypeCNAME:
+			target, _, err := readName(msg, rdStart)
+			if err != nil {
+				return nil, err
+			}
+			rr.Target = target
+		case TypeA:
+			if rdlen != 4 {
+				return nil, fmt.Errorf("dnswire: A RDATA length %d", rdlen)
+			}
+			copy(rr.Addr[:], msg[rdStart:rdStart+4])
+		}
+		off = rdStart + rdlen
+		m.Answers = append(m.Answers, rr)
+	}
+	return m, nil
+}
+
+// NewQuery builds a standard recursive query for one name.
+func NewQuery(id uint16, name string, qtype uint16) ([]byte, error) {
+	return Encode(&Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}},
+	})
+}

@@ -1,0 +1,218 @@
+package dnswire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"piileak/internal/dnssim"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		ID: 0xBEEF, Response: true, Opcode: 0, Authoritative: true,
+		RecursionDesired: true, RecursionAvailable: true, Rcode: RcodeNXDomain,
+		QDCount: 1, ANCount: 2,
+	}
+	packed := h.pack()
+	back, err := unpackHeader(packed[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Errorf("round trip:\n%+v\n%+v", h, back)
+	}
+}
+
+func TestEncodeDecodeQuery(t *testing.T) {
+	raw, err := NewQuery(42, "smetrics.shop.example.com", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.ID != 42 || m.Header.Response {
+		t.Errorf("header = %+v", m.Header)
+	}
+	if len(m.Questions) != 1 || m.Questions[0].Name != "smetrics.shop.example.com" {
+		t.Errorf("questions = %+v", m.Questions)
+	}
+	if m.Questions[0].Type != TypeA || m.Questions[0].Class != ClassIN {
+		t.Errorf("question = %+v", m.Questions[0])
+	}
+}
+
+func TestNameCompression(t *testing.T) {
+	// Two answers sharing a suffix must compress: the second occurrence
+	// of shop.example.com becomes a 2-byte pointer.
+	m := &Message{
+		Header: Header{ID: 1, Response: true},
+		Questions: []Question{
+			{Name: "a.shop.example.com", Type: TypeA, Class: ClassIN},
+		},
+		Answers: []RR{
+			{Name: "a.shop.example.com", Type: TypeCNAME, Class: ClassIN, TTL: 60, Target: "b.shop.example.com"},
+			{Name: "b.shop.example.com", Type: TypeA, Class: ClassIN, TTL: 60, Addr: [4]byte{198, 18, 1, 2}},
+		},
+	}
+	raw, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uncompressed, "shop.example.com" (18 bytes) appears three times;
+	// compression should keep the message well under that.
+	uncompressed := 12 + 3*(len("a.shop.example.com")+2) + 3*10 + 4
+	if len(raw) >= uncompressed {
+		t.Errorf("message %d bytes, compression ineffective (uncompressed ≈ %d)", len(raw), uncompressed)
+	}
+	back, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Answers[0].Target != "b.shop.example.com" {
+		t.Errorf("target = %q", back.Answers[0].Target)
+	}
+	if back.Answers[1].Name != "b.shop.example.com" || back.Answers[1].Addr != [4]byte{198, 18, 1, 2} {
+		t.Errorf("answer = %+v", back.Answers[1])
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte{1, 2, 3},
+		// Header claims one question but none follows.
+		append(Header{QDCount: 1}.packSlice(), 0xC0), // dangling pointer
+	}
+	for i, raw := range cases {
+		if _, err := Decode(raw); err == nil {
+			t.Errorf("case %d: malformed message accepted", i)
+		}
+	}
+}
+
+// packSlice is a test helper exposing pack as a slice.
+func (h Header) packSlice() []byte {
+	b := h.pack()
+	return b[:]
+}
+
+func TestCompressionLoopRejected(t *testing.T) {
+	// A name that points at itself.
+	raw := Header{QDCount: 1}.packSlice()
+	self := len(raw)
+	raw = append(raw, 0xC0, byte(self))
+	raw = append(raw, 0, 1, 0, 1)
+	if _, err := Decode(raw); err == nil {
+		t.Error("self-referential pointer accepted")
+	}
+}
+
+func TestServerAnswersCNAMEChain(t *testing.T) {
+	zone := dnssim.NewZone()
+	zone.AddCNAME("smetrics.shop.example.com", "shopexample.sc.omtrdc.net")
+	zone.AddCNAME("shopexample.sc.omtrdc.net", "edge.omtrdc.net")
+	srv := NewServer(zone)
+
+	query, err := NewQuery(7, "smetrics.shop.example.com", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawResp, err := srv.Handle(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := Decode(rawResp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Header.Response || !resp.Header.Authoritative || resp.Header.ID != 7 {
+		t.Errorf("header = %+v", resp.Header)
+	}
+	if len(resp.Answers) != 3 {
+		t.Fatalf("answers = %+v", resp.Answers)
+	}
+	if resp.Answers[0].Type != TypeCNAME || resp.Answers[0].Target != "shopexample.sc.omtrdc.net" {
+		t.Errorf("first answer = %+v", resp.Answers[0])
+	}
+	if resp.Answers[1].Target != "edge.omtrdc.net" {
+		t.Errorf("second answer = %+v", resp.Answers[1])
+	}
+	last := resp.Answers[2]
+	if last.Type != TypeA || last.Name != "edge.omtrdc.net" {
+		t.Errorf("terminal answer = %+v", last)
+	}
+	if last.Addr[0] != 198 || last.Addr[1] < 18 || last.Addr[1] > 19 {
+		t.Errorf("A record %v outside 198.18.0.0/15", last.Addr)
+	}
+}
+
+func TestServerPlainHost(t *testing.T) {
+	srv := NewServer(dnssim.NewZone())
+	query, _ := NewQuery(9, "www.shop.example.com", TypeA)
+	rawResp, err := srv.Handle(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := Decode(rawResp)
+	if len(resp.Answers) != 1 || resp.Answers[0].Type != TypeA {
+		t.Errorf("answers = %+v", resp.Answers)
+	}
+}
+
+func TestServerLoopToNXDomain(t *testing.T) {
+	zone := dnssim.NewZone()
+	zone.AddCNAME("a.x.com", "b.x.com")
+	zone.AddCNAME("b.x.com", "a.x.com")
+	srv := NewServer(zone)
+	query, _ := NewQuery(1, "a.x.com", TypeA)
+	rawResp, err := srv.Handle(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := Decode(rawResp)
+	if resp.Header.Rcode != RcodeNXDomain {
+		t.Errorf("rcode = %d", resp.Header.Rcode)
+	}
+}
+
+func TestEncodeRejectsBadLabels(t *testing.T) {
+	long := strings.Repeat("a", 64) + ".example.com"
+	if _, err := NewQuery(1, long, TypeA); err == nil {
+		t.Error("64-byte label accepted")
+	}
+	if _, err := NewQuery(1, "a..b.com", TypeA); err == nil {
+		t.Error("empty label accepted")
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	q, _ := NewQuery(3, "smetrics.shop.example.com", TypeA)
+	f.Add(q)
+	zone := dnssim.NewZone()
+	zone.AddCNAME("a.b.c", "d.e.f")
+	resp, _ := NewServer(zone).Handle(q)
+	f.Add(resp)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		// Anything we decode must re-encode and re-decode stably for
+		// the supported RR types.
+		for _, rr := range m.Answers {
+			if rr.Type != TypeA && rr.Type != TypeCNAME {
+				return
+			}
+		}
+		re, err := Encode(m)
+		if err != nil {
+			return // e.g. names with invalid labels decoded leniently
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-decode failed: %v\noriginal: %x", err, bytes.TrimSpace(raw))
+		}
+	})
+}

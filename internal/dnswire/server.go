@@ -1,0 +1,76 @@
+package dnswire
+
+import (
+	"piileak/internal/dnssim"
+	"piileak/internal/psl"
+)
+
+// Server answers wire-format DNS queries authoritatively from a dnssim
+// zone: CNAME chains for cloaked hosts, synthesized A records otherwise.
+type Server struct {
+	Zone *dnssim.Zone
+	// AddrFor synthesizes the terminal A record; defaults to a
+	// deterministic mapping when nil.
+	AddrFor func(host string) [4]byte
+}
+
+// NewServer wraps a zone.
+func NewServer(zone *dnssim.Zone) *Server { return &Server{Zone: zone} }
+
+func (s *Server) addr(host string) [4]byte {
+	if s.AddrFor != nil {
+		return s.AddrFor(host)
+	}
+	// Deterministic 198.18.0.0/15 mapping, matching the pcap export.
+	var sum uint32
+	for i := 0; i < len(host); i++ {
+		sum = sum*16777619 ^ uint32(host[i])
+	}
+	return [4]byte{198, 18 + byte(sum>>16&1), byte(sum >> 8), byte(sum)}
+}
+
+// Handle answers one query message, mirroring a stub resolver's view:
+// the full CNAME chain followed by the terminal A record.
+func (s *Server) Handle(query []byte) ([]byte, error) {
+	q, err := Decode(query)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Message{Header: Header{
+		ID:                 q.Header.ID,
+		Response:           true,
+		Authoritative:      true,
+		RecursionDesired:   q.Header.RecursionDesired,
+		RecursionAvailable: true,
+	}}
+	resp.Questions = q.Questions
+	if len(q.Questions) != 1 {
+		resp.Header.Rcode = RcodeNoError
+		return Encode(resp)
+	}
+	question := q.Questions[0]
+	name := psl.Normalize(question.Name)
+
+	chain, err := s.Zone.Resolve(name)
+	if err != nil {
+		// A CNAME loop answers SERVFAIL-ish; report NXDomain for
+		// simplicity of the simulated view.
+		resp.Header.Rcode = RcodeNXDomain
+		return Encode(resp)
+	}
+	cur := name
+	for _, target := range chain {
+		resp.Answers = append(resp.Answers, RR{
+			Name: cur, Type: TypeCNAME, Class: ClassIN, TTL: 300, Target: target,
+		})
+		cur = target
+	}
+	if question.Type == TypeA || question.Type == TypeCNAME && len(chain) == 0 {
+		if question.Type == TypeA {
+			resp.Answers = append(resp.Answers, RR{
+				Name: cur, Type: TypeA, Class: ClassIN, TTL: 300, Addr: s.addr(cur),
+			})
+		}
+	}
+	return Encode(resp)
+}

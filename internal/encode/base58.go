@@ -1,0 +1,68 @@
+package encode
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Base58 with the Bitcoin alphabet, the variant tracking scripts in the
+// wild use. Leading zero bytes map to leading '1' characters.
+
+const base58Alphabet = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+
+var base58Index = func() (idx [256]int8) {
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i := 0; i < len(base58Alphabet); i++ {
+		idx[base58Alphabet[i]] = int8(i)
+	}
+	return idx
+}()
+
+// Base58Encode encodes data in Bitcoin-alphabet base58.
+func Base58Encode(data []byte) string {
+	zeros := 0
+	for zeros < len(data) && data[zeros] == 0 {
+		zeros++
+	}
+	n := new(big.Int).SetBytes(data)
+	radix := big.NewInt(58)
+	mod := new(big.Int)
+	// Digits come out least-significant first.
+	var digits []byte
+	for n.Sign() > 0 {
+		n.DivMod(n, radix, mod)
+		digits = append(digits, base58Alphabet[mod.Int64()])
+	}
+	out := make([]byte, 0, zeros+len(digits))
+	for i := 0; i < zeros; i++ {
+		out = append(out, '1')
+	}
+	for i := len(digits) - 1; i >= 0; i-- {
+		out = append(out, digits[i])
+	}
+	return string(out)
+}
+
+// Base58Decode decodes Bitcoin-alphabet base58 text.
+func Base58Decode(s string) ([]byte, error) {
+	zeros := 0
+	for zeros < len(s) && s[zeros] == '1' {
+		zeros++
+	}
+	n := new(big.Int)
+	radix := big.NewInt(58)
+	for i := 0; i < len(s); i++ {
+		d := base58Index[s[i]]
+		if d < 0 {
+			return nil, fmt.Errorf("encode: invalid base58 character %q at index %d", s[i], i)
+		}
+		n.Mul(n, radix)
+		n.Add(n, big.NewInt(int64(d)))
+	}
+	body := n.Bytes()
+	out := make([]byte, zeros+len(body))
+	copy(out[zeros:], body)
+	return out, nil
+}

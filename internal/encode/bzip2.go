@@ -1,0 +1,440 @@
+package encode
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// This file implements a from-scratch bzip2 COMPRESSOR. The Go standard
+// library only ships a decompressor (compress/bzip2), but the paper's
+// candidate-token set includes bzip2-compressed PII, so the injector and
+// the detector need deterministic bzip2 bytes. The implementation follows
+// the classic pipeline — RLE1, Burrows-Wheeler transform, move-to-front,
+// zero run-length coding (RUNA/RUNB), and selector-switched canonical
+// Huffman coding — and is verified in bzip2_test.go by round-tripping
+// every output through the standard library's decompressor.
+
+const (
+	bzBlockMagic  = 0x314159265359 // "pi"
+	bzFooterMagic = 0x177245385090 // "sqrt(pi)"
+	bzMaxCodeLen  = 20
+	// bzRawChunk bounds the raw bytes per block so that worst-case RLE1
+	// expansion (5/4) stays well under the level-1 block size of 100000.
+	bzRawChunk = 70000
+)
+
+// Bzip2Compress compresses data as a level-1 ("BZh1") bzip2 stream.
+// The output is deterministic for a given input.
+func Bzip2Compress(data []byte) []byte {
+	w := &bitWriter{}
+	w.writeByte('B')
+	w.writeByte('Z')
+	w.writeByte('h')
+	w.writeByte('1')
+
+	var combinedCRC uint32
+	for off := 0; off < len(data); off += bzRawChunk {
+		end := off + bzRawChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		crc := bzCRC(data[off:end])
+		combinedCRC = (combinedCRC<<1 | combinedCRC>>31) ^ crc
+		bzWriteBlock(w, data[off:end], crc)
+	}
+
+	w.writeBits(bzFooterMagic, 48)
+	w.writeBits(uint64(combinedCRC), 32)
+	return w.finish()
+}
+
+// --- bit writer (MSB-first) -------------------------------------------
+
+type bitWriter struct {
+	buf  []byte
+	cur  byte
+	nCur uint // bits used in cur
+}
+
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for i := n; i > 0; i-- {
+		bit := byte(v>>(i-1)) & 1
+		w.cur = w.cur<<1 | bit
+		w.nCur++
+		if w.nCur == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.nCur = 0, 0
+		}
+	}
+}
+
+func (w *bitWriter) writeByte(b byte) { w.writeBits(uint64(b), 8) }
+
+// finish pads to a byte boundary with zero bits and returns the stream.
+func (w *bitWriter) finish() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, w.cur<<(8-w.nCur))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// --- bzip2 CRC-32 (MSB-first, poly 0x04C11DB7) ------------------------
+
+var bzCRCTable = func() (t [256]uint32) {
+	for i := range t {
+		crc := uint32(i) << 24
+		for b := 0; b < 8; b++ {
+			if crc&0x80000000 != 0 {
+				crc = crc<<1 ^ 0x04C11DB7
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}()
+
+func bzCRC(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc = crc<<8 ^ bzCRCTable[byte(crc>>24)^b]
+	}
+	return ^crc
+}
+
+// --- block pipeline ----------------------------------------------------
+
+func bzWriteBlock(w *bitWriter, raw []byte, crc uint32) {
+	rle := bzRLE1(raw)
+	bwt, origPtr := bzBWT(rle)
+
+	// Symbol map: which byte values occur in the BWT output.
+	var used [256]bool
+	for _, b := range bwt {
+		used[b] = true
+	}
+	var symToIdx [256]int
+	numSyms := 0
+	for v := 0; v < 256; v++ {
+		if used[v] {
+			symToIdx[v] = numSyms
+			numSyms++
+		}
+	}
+
+	// MTF + RLE2 into the extended alphabet:
+	// 0 = RUNA, 1 = RUNB, v -> v+1 for v >= 1, EOB = numSyms+1.
+	eob := numSyms + 1
+	alphaSize := numSyms + 2
+	mtfSyms := bzMTFRLE2(bwt, &symToIdx, numSyms)
+	mtfSyms = append(mtfSyms, uint16(eob))
+
+	// Huffman: two identical tables (minimum group count) built over the
+	// whole block; every alphabet symbol participates so the canonical
+	// code is complete.
+	freq := make([]int, alphaSize)
+	for i := range freq {
+		freq[i] = 1
+	}
+	for _, s := range mtfSyms {
+		freq[s]++
+	}
+	lengths := bzHuffmanLengths(freq, bzMaxCodeLen)
+	codes := bzCanonicalCodes(lengths)
+
+	nSelectors := (len(mtfSyms) + 49) / 50
+
+	// Header.
+	w.writeBits(bzBlockMagic, 48)
+	w.writeBits(uint64(crc), 32)
+	w.writeBits(0, 1) // not randomized
+	w.writeBits(uint64(origPtr), 24)
+
+	// Symbol map: 16-bit range map, then 16-bit maps per used range.
+	var rangeMap uint64
+	for r := 0; r < 16; r++ {
+		for v := r * 16; v < (r+1)*16; v++ {
+			if used[v] {
+				rangeMap |= 1 << (15 - r)
+				break
+			}
+		}
+	}
+	w.writeBits(rangeMap, 16)
+	for r := 0; r < 16; r++ {
+		if rangeMap&(1<<(15-r)) == 0 {
+			continue
+		}
+		var m uint64
+		for i := 0; i < 16; i++ {
+			if used[r*16+i] {
+				m |= 1 << (15 - i)
+			}
+		}
+		w.writeBits(m, 16)
+	}
+
+	w.writeBits(2, 3)                   // nGroups
+	w.writeBits(uint64(nSelectors), 15) // nSelectors
+	for i := 0; i < nSelectors; i++ {   // all selectors: group 0
+		w.writeBits(0, 1) // MTF'd selector value 0 is a bare stop bit
+	}
+
+	// Two copies of the delta-encoded code-length table.
+	for g := 0; g < 2; g++ {
+		cur := int(lengths[0])
+		w.writeBits(uint64(cur), 5)
+		for _, l := range lengths {
+			for cur < int(l) {
+				w.writeBits(0b10, 2) // increment
+				cur++
+			}
+			for cur > int(l) {
+				w.writeBits(0b11, 2) // decrement
+				cur--
+			}
+			w.writeBits(0, 1) // done with this symbol
+		}
+	}
+
+	// Symbol stream.
+	for _, s := range mtfSyms {
+		w.writeBits(uint64(codes[s]), uint(lengths[s]))
+	}
+}
+
+// bzRLE1 applies bzip2's first-stage run-length encoding: any run of 4..255
+// equal bytes becomes the 4 bytes followed by a count byte (runLen-4).
+func bzRLE1(data []byte) []byte {
+	out := make([]byte, 0, len(data)+len(data)/4)
+	for i := 0; i < len(data); {
+		b := data[i]
+		run := 1
+		for i+run < len(data) && data[i+run] == b && run < 255+4 {
+			run++
+		}
+		if run >= 4 {
+			out = append(out, b, b, b, b, byte(run-4))
+		} else {
+			for k := 0; k < run; k++ {
+				out = append(out, b)
+			}
+		}
+		i += run
+	}
+	return out
+}
+
+// bzBWT computes the Burrows-Wheeler transform over all cyclic rotations
+// using prefix doubling (O(n log² n)), returning the last column and the
+// row index of the original string.
+func bzBWT(data []byte) (last []byte, origPtr int) {
+	n := len(data)
+	if n == 0 {
+		return nil, 0
+	}
+	sa := make([]int, n)   // rotation start offsets, sorted by rotation
+	rank := make([]int, n) // current rank of rotation starting at i
+	tmp := make([]int, n)
+	for i := range sa {
+		sa[i] = i
+		rank[i] = int(data[i])
+	}
+	for k := 1; ; k *= 2 {
+		key := func(i int) (int, int) { return rank[i], rank[(i+k)%n] }
+		sort.Slice(sa, func(a, b int) bool {
+			r1a, r2a := key(sa[a])
+			r1b, r2b := key(sa[b])
+			if r1a != r1b {
+				return r1a < r1b
+			}
+			return r2a < r2b
+		})
+		tmp[sa[0]] = 0
+		distinct := 1
+		for i := 1; i < n; i++ {
+			r1p, r2p := key(sa[i-1])
+			r1c, r2c := key(sa[i])
+			tmp[sa[i]] = tmp[sa[i-1]]
+			if r1p != r1c || r2p != r2c {
+				tmp[sa[i]]++
+				distinct++
+			}
+		}
+		copy(rank, tmp)
+		if distinct == n || k >= n {
+			break
+		}
+	}
+	last = make([]byte, n)
+	origPtr = -1
+	for i, start := range sa {
+		last[i] = data[(start+n-1)%n]
+		if start == 0 {
+			origPtr = i
+		}
+	}
+	return last, origPtr
+}
+
+// bzMTFRLE2 move-to-front codes the BWT output and run-length codes zero
+// runs with RUNA/RUNB symbols, mapping nonzero MTF value v to symbol v+1.
+func bzMTFRLE2(bwt []byte, symToIdx *[256]int, numSyms int) []uint16 {
+	mtf := make([]int, numSyms)
+	for i := range mtf {
+		mtf[i] = i
+	}
+	out := make([]uint16, 0, len(bwt))
+	zeroRun := 0
+	flushRun := func() {
+		n := zeroRun
+		for n > 0 {
+			n--
+			if n&1 != 0 {
+				out = append(out, 1) // RUNB
+			} else {
+				out = append(out, 0) // RUNA
+			}
+			n >>= 1
+		}
+		zeroRun = 0
+	}
+	for _, b := range bwt {
+		idx := symToIdx[b]
+		pos := 0
+		for mtf[pos] != idx {
+			pos++
+		}
+		// Move to front.
+		copy(mtf[1:pos+1], mtf[:pos])
+		mtf[0] = idx
+		if pos == 0 {
+			zeroRun++
+			continue
+		}
+		flushRun()
+		out = append(out, uint16(pos+1))
+	}
+	flushRun()
+	return out
+}
+
+// --- Huffman -----------------------------------------------------------
+
+type bzHuffNode struct {
+	freq        int
+	left, right int // child node indices, -1 for leaves
+	sym         int
+}
+
+type bzHuffHeap struct {
+	nodes *[]bzHuffNode
+	idx   []int
+}
+
+func (h bzHuffHeap) Len() int { return len(h.idx) }
+func (h bzHuffHeap) Less(a, b int) bool {
+	na, nb := (*h.nodes)[h.idx[a]], (*h.nodes)[h.idx[b]]
+	if na.freq != nb.freq {
+		return na.freq < nb.freq
+	}
+	return h.idx[a] < h.idx[b] // deterministic tie-break
+}
+func (h bzHuffHeap) Swap(a, b int)       { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *bzHuffHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *bzHuffHeap) Pop() interface{} {
+	old := h.idx
+	v := old[len(old)-1]
+	h.idx = old[:len(old)-1]
+	return v
+}
+
+// bzHuffmanLengths builds Huffman code lengths for freq, flattening the
+// tree (bzip2-style frequency halving) until no length exceeds maxLen.
+func bzHuffmanLengths(freq []int, maxLen int) []uint8 {
+	f := append([]int(nil), freq...)
+	for {
+		lengths := bzBuildLengths(f)
+		over := false
+		for _, l := range lengths {
+			if int(l) > maxLen {
+				over = true
+				break
+			}
+		}
+		if !over {
+			return lengths
+		}
+		for i := range f {
+			f[i] = f[i]/2 + 1
+		}
+	}
+}
+
+func bzBuildLengths(freq []int) []uint8 {
+	n := len(freq)
+	if n == 1 {
+		return []uint8{1}
+	}
+	nodes := make([]bzHuffNode, 0, 2*n)
+	h := bzHuffHeap{nodes: &nodes}
+	for sym, fq := range freq {
+		nodes = append(nodes, bzHuffNode{freq: fq, left: -1, right: -1, sym: sym})
+		h.idx = append(h.idx, sym)
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(int)
+		b := heap.Pop(&h).(int)
+		nodes = append(nodes, bzHuffNode{freq: nodes[a].freq + nodes[b].freq, left: a, right: b, sym: -1})
+		heap.Push(&h, len(nodes)-1)
+	}
+	root := h.idx[0]
+	lengths := make([]uint8, n)
+	var walk func(node, depth int)
+	walk = func(node, depth int) {
+		nd := nodes[node]
+		if nd.left == -1 {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[nd.sym] = uint8(depth)
+			return
+		}
+		walk(nd.left, depth+1)
+		walk(nd.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// bzCanonicalCodes assigns canonical codes (as the decoder expects:
+// ordered by length, then by symbol value).
+func bzCanonicalCodes(lengths []uint8) []uint32 {
+	type pair struct {
+		sym int
+		len uint8
+	}
+	pairs := make([]pair, len(lengths))
+	for i, l := range lengths {
+		pairs[i] = pair{i, l}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].len != pairs[b].len {
+			return pairs[a].len < pairs[b].len
+		}
+		return pairs[a].sym < pairs[b].sym
+	})
+	codes := make([]uint32, len(lengths))
+	var code uint32
+	prevLen := pairs[0].len
+	for _, p := range pairs {
+		code <<= uint(p.len - prevLen)
+		prevLen = p.len
+		codes[p.sym] = code
+		code++
+	}
+	return codes
+}

@@ -1,0 +1,62 @@
+package encode
+
+import (
+	"bytes"
+	"compress/bzip2"
+	"io"
+	"testing"
+)
+
+// Fuzz targets run their seed corpus under plain `go test` and support
+// `go test -fuzz` for deeper exploration.
+
+func FuzzBzip2RoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("a"))
+	f.Add([]byte("foo@mydom.com"))
+	f.Add(bytes.Repeat([]byte{0}, 300))
+	f.Add(bytes.Repeat([]byte("ab"), 200))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		out, err := io.ReadAll(bzip2.NewReader(bytes.NewReader(Bzip2Compress(data))))
+		if err != nil {
+			t.Fatalf("stdlib rejected our stream for %d bytes: %v", len(data), err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip mismatch for %d bytes", len(data))
+		}
+	})
+}
+
+func FuzzBase58RoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0})
+	f.Add([]byte{0, 0, 1})
+	f.Add([]byte("hello world"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			return
+		}
+		enc := Base58Encode(data)
+		dec, err := Base58Decode(enc)
+		if err != nil {
+			t.Fatalf("decode of our own encoding failed: %v", err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("round trip mismatch")
+		}
+	})
+}
+
+func FuzzBase58DecodeNeverPanics(f *testing.F) {
+	f.Add("StV1DL6CwTryKyV")
+	f.Add("0OIl")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		// Must return an error or a value, never panic.
+		Base58Decode(s) //nolint:errcheck
+	})
+}

@@ -1,0 +1,20 @@
+package har
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures arbitrary input never panics the HAR importer.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleHAR)
+	f.Add("{}")
+	f.Add(`{"log":{"entries":[{}]}}`)
+	f.Add(`{"log":{"entries":[{"request":{"method":"GET","url":"x"},"response":{}}]}}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		if len(doc) > 1<<14 {
+			return
+		}
+		Parse(strings.NewReader(doc)) //nolint:errcheck
+	})
+}

@@ -1,0 +1,242 @@
+// Package har imports HTTP Archive (HAR 1.2) captures — the format every
+// major browser's devtools exports — into the study's traffic model, so
+// the §4 leak detector runs unchanged on real-world recordings.
+//
+// The importer understands the standard entry fields (request method,
+// URL, headers, cookies, postData; response status, headers, cookies)
+// plus Chrome's nonstandard `_initiator`, which feeds the blocklist
+// evaluation's initiator chains.
+package har
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"piileak/internal/httpmodel"
+)
+
+// File is the top-level HAR document.
+type File struct {
+	Log Log `json:"log"`
+}
+
+// Log holds the capture.
+type Log struct {
+	Version string  `json:"version"`
+	Pages   []Page  `json:"pages"`
+	Entries []Entry `json:"entries"`
+}
+
+// Page is one top-level navigation.
+type Page struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// Entry is one request/response exchange.
+type Entry struct {
+	PageRef         string    `json:"pageref"`
+	StartedDateTime time.Time `json:"startedDateTime"`
+	Request         Request   `json:"request"`
+	Response        Response  `json:"response"`
+	// Initiator is Chrome's nonstandard extension.
+	Initiator *Initiator `json:"_initiator,omitempty"`
+}
+
+// Request is a HAR request.
+type Request struct {
+	Method   string    `json:"method"`
+	URL      string    `json:"url"`
+	Headers  []NameVal `json:"headers"`
+	Cookies  []HCookie `json:"cookies"`
+	PostData *PostData `json:"postData,omitempty"`
+}
+
+// Response is a HAR response.
+type Response struct {
+	Status  int       `json:"status"`
+	Headers []NameVal `json:"headers"`
+	Cookies []HCookie `json:"cookies"`
+}
+
+// NameVal is a HAR name/value pair.
+type NameVal struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// HCookie is a HAR cookie.
+type HCookie struct {
+	Name   string `json:"name"`
+	Value  string `json:"value"`
+	Domain string `json:"domain,omitempty"`
+	Path   string `json:"path,omitempty"`
+}
+
+// PostData is a HAR request body.
+type PostData struct {
+	MimeType string    `json:"mimeType"`
+	Text     string    `json:"text"`
+	Params   []NameVal `json:"params,omitempty"`
+}
+
+// Initiator is Chrome's request-initiator annotation.
+type Initiator struct {
+	Type string `json:"type"`
+	URL  string `json:"url,omitempty"`
+}
+
+// Parse reads a HAR document and converts it to traffic records,
+// ordered by start time. Page URLs come from each entry's pageref when
+// resolvable, falling back to the entry's own URL for documents.
+func Parse(r io.Reader) ([]httpmodel.Record, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("har: decoding: %w", err)
+	}
+	return f.Records()
+}
+
+// ParseFile is Parse on a file path.
+func ParseFile(path string) ([]httpmodel.Record, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("har: %w", err)
+	}
+	defer fh.Close()
+	return Parse(fh)
+}
+
+// Records converts the log's entries.
+func (f *File) Records() ([]httpmodel.Record, error) {
+	entries := append([]Entry(nil), f.Log.Entries...)
+	sort.SliceStable(entries, func(a, b int) bool {
+		return entries[a].StartedDateTime.Before(entries[b].StartedDateTime)
+	})
+
+	// First document URL per pageref.
+	pageURL := map[string]string{}
+	for _, e := range entries {
+		if e.PageRef == "" {
+			continue
+		}
+		if _, ok := pageURL[e.PageRef]; !ok {
+			pageURL[e.PageRef] = e.Request.URL
+		}
+	}
+
+	out := make([]httpmodel.Record, 0, len(entries))
+	for i, e := range entries {
+		if e.Request.URL == "" {
+			return nil, fmt.Errorf("har: entry %d has no request URL", i)
+		}
+		rec := httpmodel.Record{
+			Seq:  i + 1,
+			Page: pageURL[e.PageRef],
+			Request: httpmodel.Request{
+				Method: strings.ToUpper(e.Request.Method),
+				URL:    e.Request.URL,
+				Type:   guessType(&e),
+			},
+			Response: httpmodel.Response{Status: e.Response.Status},
+		}
+		if rec.Page == "" {
+			rec.Page = e.Request.URL
+		}
+		for _, h := range e.Request.Headers {
+			if rec.Request.Headers == nil {
+				rec.Request.Headers = map[string]string{}
+			}
+			rec.Request.Headers[h.Name] = h.Value
+		}
+		for _, c := range e.Request.Cookies {
+			domain := c.Domain
+			if domain == "" {
+				domain = hostOf(e.Request.URL)
+			}
+			rec.Request.Cookies = append(rec.Request.Cookies, httpmodel.Cookie{
+				Name: c.Name, Value: c.Value, Domain: domain, Path: c.Path,
+			})
+		}
+		if pd := e.Request.PostData; pd != nil {
+			rec.Request.BodyType = pd.MimeType
+			if pd.Text != "" {
+				rec.Request.Body = []byte(pd.Text)
+			} else if len(pd.Params) > 0 {
+				var sb strings.Builder
+				for j, p := range pd.Params {
+					if j > 0 {
+						sb.WriteByte('&')
+					}
+					sb.WriteString(p.Name)
+					sb.WriteByte('=')
+					sb.WriteString(p.Value)
+				}
+				rec.Request.Body = []byte(sb.String())
+				if rec.Request.BodyType == "" {
+					rec.Request.BodyType = "application/x-www-form-urlencoded"
+				}
+			}
+		}
+		for _, h := range e.Response.Headers {
+			if rec.Response.Headers == nil {
+				rec.Response.Headers = map[string]string{}
+			}
+			rec.Response.Headers[h.Name] = h.Value
+		}
+		for _, c := range e.Response.Cookies {
+			rec.Response.SetCookies = append(rec.Response.SetCookies, httpmodel.Cookie{
+				Name: c.Name, Value: c.Value, Domain: c.Domain, Path: c.Path,
+			})
+		}
+		if e.Initiator != nil && e.Initiator.URL != "" {
+			rec.Request.Initiator = e.Initiator.URL
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// guessType infers a resource type from the URL extension and body —
+// HAR does not carry one.
+func guessType(e *Entry) httpmodel.ResourceType {
+	if e.Request.PostData != nil {
+		return httpmodel.TypeXHR
+	}
+	u := e.Request.URL
+	if i := strings.IndexAny(u, "?#"); i >= 0 {
+		u = u[:i]
+	}
+	switch {
+	case strings.HasSuffix(u, ".js"):
+		return httpmodel.TypeScript
+	case strings.HasSuffix(u, ".css"):
+		return httpmodel.TypeStylesheet
+	case strings.HasSuffix(u, ".png"), strings.HasSuffix(u, ".gif"),
+		strings.HasSuffix(u, ".jpg"), strings.HasSuffix(u, ".jpeg"),
+		strings.HasSuffix(u, ".webp"), strings.HasSuffix(u, ".svg"):
+		return httpmodel.TypeImage
+	case strings.HasSuffix(u, "/") || !strings.Contains(lastSegment(u), "."):
+		return httpmodel.TypeDocument
+	default:
+		return httpmodel.TypeOther
+	}
+}
+
+func lastSegment(u string) string {
+	if i := strings.LastIndexByte(u, '/'); i >= 0 {
+		return u[i+1:]
+	}
+	return u
+}
+
+func hostOf(rawURL string) string {
+	r := httpmodel.Request{URL: rawURL}
+	return r.Host()
+}

@@ -1,0 +1,142 @@
+package hashes
+
+import (
+	"encoding/binary"
+	"hash"
+	"math/bits"
+)
+
+// Blake2bSize is the digest size of the registered BLAKE2b-512 variant.
+const Blake2bSize = 64
+
+// blake2b implements unkeyed BLAKE2b (RFC 7693) with a configurable
+// digest size.
+
+var blake2bIV = [8]uint64{
+	0x6a09e667f3bcc908, 0xbb67ae8584caa73b, 0x3c6ef372fe94f82b, 0xa54ff53a5f1d36f1,
+	0x510e527fade682d1, 0x9b05688c2b3e6c1f, 0x1f83d9abfb41bd6b, 0x5be0cd19137e2179,
+}
+
+var blake2bSigma = [10][16]byte{
+	{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+	{14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3},
+	{11, 8, 12, 0, 5, 2, 15, 13, 10, 14, 3, 6, 7, 1, 9, 4},
+	{7, 9, 3, 1, 13, 12, 11, 14, 2, 6, 5, 10, 4, 0, 15, 8},
+	{9, 0, 5, 7, 2, 4, 10, 15, 14, 1, 11, 12, 6, 8, 3, 13},
+	{2, 12, 6, 10, 0, 11, 8, 3, 4, 13, 7, 5, 15, 14, 1, 9},
+	{12, 5, 1, 15, 14, 13, 4, 10, 0, 7, 6, 3, 9, 2, 8, 11},
+	{13, 11, 7, 14, 12, 1, 3, 9, 5, 0, 15, 4, 8, 6, 2, 10},
+	{6, 15, 14, 9, 11, 3, 0, 8, 12, 2, 13, 7, 1, 4, 10, 5},
+	{10, 2, 8, 4, 7, 6, 1, 5, 15, 11, 9, 14, 3, 12, 13, 0},
+}
+
+type blake2bDigest struct {
+	h       [8]uint64
+	t       uint64 // byte counter (low word; high word unused at our sizes)
+	buf     [128]byte
+	n       int
+	outSize int
+}
+
+// NewBlake2b512 returns a new unkeyed BLAKE2b-512 hash.
+func NewBlake2b512() hash.Hash { return NewBlake2b(64) }
+
+// NewBlake2b returns a new unkeyed BLAKE2b hash with the given digest
+// size in bytes (1..64).
+func NewBlake2b(size int) hash.Hash {
+	if size < 1 || size > 64 {
+		panic("hashes: invalid BLAKE2b digest size")
+	}
+	d := &blake2bDigest{outSize: size}
+	d.Reset()
+	return d
+}
+
+func (d *blake2bDigest) Size() int      { return d.outSize }
+func (d *blake2bDigest) BlockSize() int { return 128 }
+
+func (d *blake2bDigest) Reset() {
+	d.h = blake2bIV
+	// Parameter block word 0: digest length, key length 0, fanout 1,
+	// depth 1.
+	d.h[0] ^= 0x01010000 ^ uint64(d.outSize)
+	d.t = 0
+	d.n = 0
+}
+
+func (d *blake2bDigest) Write(p []byte) (int, error) {
+	written := len(p)
+	for len(p) > 0 {
+		// A full buffer may only be compressed once we know more data
+		// follows: the final block carries the last-block flag.
+		if d.n == 128 {
+			d.t += 128
+			d.compress(false)
+			d.n = 0
+		}
+		space := 128 - d.n
+		if space > len(p) {
+			space = len(p)
+		}
+		copy(d.buf[d.n:], p[:space])
+		d.n += space
+		p = p[space:]
+	}
+	return written, nil
+}
+
+func (d *blake2bDigest) compress(last bool) {
+	var m [16]uint64
+	for i := range m {
+		m[i] = binary.LittleEndian.Uint64(d.buf[i*8:])
+	}
+	var v [16]uint64
+	copy(v[:8], d.h[:])
+	copy(v[8:], blake2bIV[:])
+	v[12] ^= d.t
+	if last {
+		v[14] = ^v[14]
+	}
+
+	g := func(a, b, c, d4 int, x, y uint64) {
+		v[a] = v[a] + v[b] + x
+		v[d4] = bits.RotateLeft64(v[d4]^v[a], -32)
+		v[c] = v[c] + v[d4]
+		v[b] = bits.RotateLeft64(v[b]^v[c], -24)
+		v[a] = v[a] + v[b] + y
+		v[d4] = bits.RotateLeft64(v[d4]^v[a], -16)
+		v[c] = v[c] + v[d4]
+		v[b] = bits.RotateLeft64(v[b]^v[c], -63)
+	}
+
+	for r := 0; r < 12; r++ {
+		s := &blake2bSigma[r%10]
+		g(0, 4, 8, 12, m[s[0]], m[s[1]])
+		g(1, 5, 9, 13, m[s[2]], m[s[3]])
+		g(2, 6, 10, 14, m[s[4]], m[s[5]])
+		g(3, 7, 11, 15, m[s[6]], m[s[7]])
+		g(0, 5, 10, 15, m[s[8]], m[s[9]])
+		g(1, 6, 11, 12, m[s[10]], m[s[11]])
+		g(2, 7, 8, 13, m[s[12]], m[s[13]])
+		g(3, 4, 9, 14, m[s[14]], m[s[15]])
+	}
+
+	for i := 0; i < 8; i++ {
+		d.h[i] ^= v[i] ^ v[i+8]
+	}
+}
+
+func (d *blake2bDigest) Sum(in []byte) []byte {
+	cp := *d
+	cp.t += uint64(cp.n)
+	for i := cp.n; i < 128; i++ {
+		cp.buf[i] = 0
+	}
+	cp.compress(true)
+
+	out := make([]byte, 64)
+	for i, v := range cp.h {
+		binary.LittleEndian.PutUint64(out[i*8:], v)
+	}
+	return append(in, out[:cp.outSize]...)
+}

@@ -1,0 +1,103 @@
+package hashes
+
+import "hash"
+
+// MD2Size is the digest size of MD2 in bytes.
+const MD2Size = 16
+
+// md2S is the MD2 substitution table from RFC 1319, a permutation of
+// 0..255 derived from the digits of pi. md2_test.go asserts the
+// permutation property to guard against transcription errors.
+var md2S = [256]byte{
+	41, 46, 67, 201, 162, 216, 124, 1, 61, 54, 84, 161, 236, 240, 6, 19,
+	98, 167, 5, 243, 192, 199, 115, 140, 152, 147, 43, 217, 188, 76, 130, 202,
+	30, 155, 87, 60, 253, 212, 224, 22, 103, 66, 111, 24, 138, 23, 229, 18,
+	190, 78, 196, 214, 218, 158, 222, 73, 160, 251, 245, 142, 187, 47, 238, 122,
+	169, 104, 121, 145, 21, 178, 7, 63, 148, 194, 16, 137, 11, 34, 95, 33,
+	128, 127, 93, 154, 90, 144, 50, 39, 53, 62, 204, 231, 191, 247, 151, 3,
+	255, 25, 48, 179, 72, 165, 181, 209, 215, 94, 146, 42, 172, 86, 170, 198,
+	79, 184, 56, 210, 150, 164, 125, 182, 118, 252, 107, 226, 156, 116, 4, 241,
+	69, 157, 112, 89, 100, 113, 135, 32, 134, 91, 207, 101, 230, 45, 168, 2,
+	27, 96, 37, 173, 174, 176, 185, 246, 28, 70, 97, 105, 52, 64, 126, 15,
+	85, 71, 163, 35, 221, 81, 175, 58, 195, 92, 249, 206, 186, 197, 234, 38,
+	44, 83, 13, 110, 133, 40, 132, 9, 211, 223, 205, 244, 65, 129, 77, 82,
+	106, 220, 55, 200, 108, 193, 171, 250, 36, 225, 123, 8, 12, 189, 177, 74,
+	120, 136, 149, 139, 227, 99, 232, 109, 233, 203, 213, 254, 59, 0, 29, 57,
+	242, 239, 183, 14, 102, 88, 208, 228, 166, 119, 114, 248, 235, 117, 75, 10,
+	49, 68, 80, 180, 143, 237, 31, 26, 219, 153, 141, 51, 159, 17, 131, 20,
+}
+
+// md2Digest implements MD2 (RFC 1319).
+type md2Digest struct {
+	state    [48]byte // X
+	checksum [16]byte // C
+	buf      [16]byte
+	n        int // bytes buffered in buf
+}
+
+// NewMD2 returns a new MD2 hash.
+func NewMD2() hash.Hash { d := new(md2Digest); d.Reset(); return d }
+
+func (d *md2Digest) Size() int      { return MD2Size }
+func (d *md2Digest) BlockSize() int { return 16 }
+
+func (d *md2Digest) Reset() {
+	d.state = [48]byte{}
+	d.checksum = [16]byte{}
+	d.buf = [16]byte{}
+	d.n = 0
+}
+
+func (d *md2Digest) Write(p []byte) (int, error) {
+	written := len(p)
+	for len(p) > 0 {
+		space := 16 - d.n
+		if space > len(p) {
+			space = len(p)
+		}
+		copy(d.buf[d.n:], p[:space])
+		d.n += space
+		p = p[space:]
+		if d.n == 16 {
+			d.block(d.buf[:])
+			d.n = 0
+		}
+	}
+	return written, nil
+}
+
+func (d *md2Digest) block(m []byte) {
+	// Update checksum.
+	l := d.checksum[15]
+	for i := 0; i < 16; i++ {
+		d.checksum[i] ^= md2S[m[i]^l]
+		l = d.checksum[i]
+	}
+	// Update state.
+	for i := 0; i < 16; i++ {
+		d.state[16+i] = m[i]
+		d.state[32+i] = d.state[16+i] ^ d.state[i]
+	}
+	var t byte
+	for round := 0; round < 18; round++ {
+		for i := 0; i < 48; i++ {
+			d.state[i] ^= md2S[t]
+			t = d.state[i]
+		}
+		t += byte(round)
+	}
+}
+
+func (d *md2Digest) Sum(in []byte) []byte {
+	// Operate on a copy so the digest can keep absorbing data.
+	cp := *d
+	pad := byte(16 - cp.n)
+	padding := make([]byte, pad)
+	for i := range padding {
+		padding[i] = pad
+	}
+	cp.Write(padding) //nolint:errcheck // cannot fail
+	cs := cp.checksum // checksum after padding
+	cp.block(cs[:])   // absorb the checksum as a final block
+	return append(in, cp.state[:16]...)
+}

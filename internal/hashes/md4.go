@@ -1,0 +1,108 @@
+package hashes
+
+import (
+	"encoding/binary"
+	"hash"
+	"math/bits"
+)
+
+// MD4Size is the digest size of MD4 in bytes.
+const MD4Size = 16
+
+// md4Digest implements MD4 (RFC 1320).
+type md4Digest struct {
+	s   [4]uint32
+	buf [64]byte
+	n   int
+	len uint64
+}
+
+// NewMD4 returns a new MD4 hash.
+func NewMD4() hash.Hash { d := new(md4Digest); d.Reset(); return d }
+
+func (d *md4Digest) Size() int      { return MD4Size }
+func (d *md4Digest) BlockSize() int { return 64 }
+
+func (d *md4Digest) Reset() {
+	d.s = [4]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476}
+	d.n = 0
+	d.len = 0
+}
+
+func (d *md4Digest) Write(p []byte) (int, error) {
+	written := len(p)
+	d.len += uint64(written)
+	for len(p) > 0 {
+		space := 64 - d.n
+		if space > len(p) {
+			space = len(p)
+		}
+		copy(d.buf[d.n:], p[:space])
+		d.n += space
+		p = p[space:]
+		if d.n == 64 {
+			d.block(d.buf[:])
+			d.n = 0
+		}
+	}
+	return written, nil
+}
+
+func (d *md4Digest) block(p []byte) {
+	var x [16]uint32
+	for i := range x {
+		x[i] = binary.LittleEndian.Uint32(p[i*4:])
+	}
+	a, b, c, d4 := d.s[0], d.s[1], d.s[2], d.s[3]
+
+	// Round 1: F(x,y,z) = (x AND y) OR (NOT x AND z)
+	f := func(x, y, z uint32) uint32 { return (x & y) | (^x & z) }
+	for _, i := range []int{0, 4, 8, 12} {
+		a = bits.RotateLeft32(a+f(b, c, d4)+x[i], 3)
+		d4 = bits.RotateLeft32(d4+f(a, b, c)+x[i+1], 7)
+		c = bits.RotateLeft32(c+f(d4, a, b)+x[i+2], 11)
+		b = bits.RotateLeft32(b+f(c, d4, a)+x[i+3], 19)
+	}
+	// Round 2: G(x,y,z) = (x AND y) OR (x AND z) OR (y AND z), +0x5a827999
+	g := func(x, y, z uint32) uint32 { return (x & y) | (x & z) | (y & z) }
+	for _, i := range []int{0, 1, 2, 3} {
+		a = bits.RotateLeft32(a+g(b, c, d4)+x[i]+0x5a827999, 3)
+		d4 = bits.RotateLeft32(d4+g(a, b, c)+x[i+4]+0x5a827999, 5)
+		c = bits.RotateLeft32(c+g(d4, a, b)+x[i+8]+0x5a827999, 9)
+		b = bits.RotateLeft32(b+g(c, d4, a)+x[i+12]+0x5a827999, 13)
+	}
+	// Round 3: H(x,y,z) = x XOR y XOR z, +0x6ed9eba1
+	h := func(x, y, z uint32) uint32 { return x ^ y ^ z }
+	for _, i := range []int{0, 2, 1, 3} {
+		a = bits.RotateLeft32(a+h(b, c, d4)+x[i]+0x6ed9eba1, 3)
+		d4 = bits.RotateLeft32(d4+h(a, b, c)+x[i+8]+0x6ed9eba1, 9)
+		c = bits.RotateLeft32(c+h(d4, a, b)+x[i+4]+0x6ed9eba1, 11)
+		b = bits.RotateLeft32(b+h(c, d4, a)+x[i+12]+0x6ed9eba1, 15)
+	}
+
+	d.s[0] += a
+	d.s[1] += b
+	d.s[2] += c
+	d.s[3] += d4
+}
+
+func (d *md4Digest) Sum(in []byte) []byte {
+	cp := *d
+	msgLen := cp.len
+	// Padding: 0x80 then zeros until length ≡ 56 mod 64, then 8-byte
+	// little-endian bit length.
+	var pad [64 + 8]byte
+	pad[0] = 0x80
+	padLen := 56 - int(msgLen%64)
+	if padLen <= 0 {
+		padLen += 64
+	}
+	binary.LittleEndian.PutUint64(pad[padLen:], msgLen<<3)
+	cp.Write(pad[:padLen+8]) //nolint:errcheck // cannot fail
+
+	var out [MD4Size]byte
+	for i, v := range cp.s {
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+	return append(in, out[:]...)
+}

@@ -1,0 +1,272 @@
+package hashes
+
+import (
+	"encoding/binary"
+	"hash"
+	"math/bits"
+)
+
+// This file implements the four RIPEMD variants the paper's candidate set
+// uses: RIPEMD-128, RIPEMD-160, RIPEMD-256 and RIPEMD-320, following the
+// original Dobbertin/Bosselaers/Preneel specification. The 128/256 pair
+// shares the 64-step dual-line schedule; the 160/320 pair shares the
+// 80-step schedule. 256 and 320 are the "double width" variants that keep
+// the two lines separate and exchange one register after every round.
+
+// Message word selection for the left (r) and right (rr) lines.
+var ripemdR = [80]int{
+	0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+	7, 4, 13, 1, 10, 6, 15, 3, 12, 0, 9, 5, 2, 14, 11, 8,
+	3, 10, 14, 4, 9, 15, 8, 1, 2, 7, 0, 6, 13, 11, 5, 12,
+	1, 9, 11, 10, 0, 8, 12, 4, 13, 3, 7, 15, 14, 5, 6, 2,
+	4, 0, 5, 9, 7, 12, 2, 10, 14, 1, 3, 8, 11, 6, 15, 13,
+}
+
+var ripemdRR = [80]int{
+	5, 14, 7, 0, 9, 2, 11, 4, 13, 6, 15, 8, 1, 10, 3, 12,
+	6, 11, 3, 7, 0, 13, 5, 10, 14, 15, 8, 12, 4, 9, 1, 2,
+	15, 5, 1, 3, 7, 14, 6, 9, 11, 8, 12, 2, 10, 0, 4, 13,
+	8, 6, 4, 1, 3, 11, 15, 0, 5, 12, 2, 13, 9, 7, 10, 14,
+	12, 15, 10, 4, 1, 5, 8, 7, 6, 2, 13, 14, 0, 3, 9, 11,
+}
+
+// Per-step rotation amounts for the left (s) and right (ss) lines.
+var ripemdS = [80]int{
+	11, 14, 15, 12, 5, 8, 7, 9, 11, 13, 14, 15, 6, 7, 9, 8,
+	7, 6, 8, 13, 11, 9, 7, 15, 7, 12, 15, 9, 11, 7, 13, 12,
+	11, 13, 6, 7, 14, 9, 13, 15, 14, 8, 13, 6, 5, 12, 7, 5,
+	11, 12, 14, 15, 14, 15, 9, 8, 9, 14, 5, 6, 8, 6, 5, 12,
+	9, 15, 5, 11, 6, 8, 13, 12, 5, 12, 13, 14, 11, 8, 5, 6,
+}
+
+var ripemdSS = [80]int{
+	8, 9, 9, 11, 13, 15, 15, 5, 7, 7, 8, 11, 14, 14, 12, 6,
+	9, 13, 15, 7, 12, 8, 9, 11, 7, 7, 12, 7, 6, 15, 13, 11,
+	9, 7, 15, 11, 8, 6, 6, 14, 12, 13, 5, 14, 13, 13, 7, 5,
+	15, 5, 8, 11, 14, 14, 6, 14, 6, 9, 12, 9, 12, 5, 15, 8,
+	8, 5, 12, 9, 12, 5, 14, 6, 8, 13, 6, 5, 15, 13, 11, 11,
+}
+
+// Round constants.
+var ripemdK = [5]uint32{0x00000000, 0x5a827999, 0x6ed9eba1, 0x8f1bbcdc, 0xa953fd4e}
+var ripemdKK160 = [5]uint32{0x50a28be6, 0x5c4dd124, 0x6d703ef3, 0x7a6d76e9, 0x00000000}
+var ripemdKK128 = [4]uint32{0x50a28be6, 0x5c4dd124, 0x6d703ef3, 0x00000000}
+
+// The five boolean step functions.
+func ripemdF(j int, x, y, z uint32) uint32 {
+	switch j / 16 {
+	case 0:
+		return x ^ y ^ z
+	case 1:
+		return (x & y) | (^x & z)
+	case 2:
+		return (x | ^y) ^ z
+	case 3:
+		return (x & z) | (y & ^z)
+	default:
+		return x ^ (y | ^z)
+	}
+}
+
+// ripemdDigest is the shared buffering machinery; variant selects the
+// compression function and output width.
+type ripemdDigest struct {
+	h       [10]uint32
+	buf     [64]byte
+	n       int
+	len     uint64
+	variant int // 128, 160, 256 or 320
+}
+
+// NewRIPEMD128 returns a new RIPEMD-128 hash.
+func NewRIPEMD128() hash.Hash { return newRIPEMD(128) }
+
+// NewRIPEMD160 returns a new RIPEMD-160 hash.
+func NewRIPEMD160() hash.Hash { return newRIPEMD(160) }
+
+// NewRIPEMD256 returns a new RIPEMD-256 hash.
+func NewRIPEMD256() hash.Hash { return newRIPEMD(256) }
+
+// NewRIPEMD320 returns a new RIPEMD-320 hash.
+func NewRIPEMD320() hash.Hash { return newRIPEMD(320) }
+
+func newRIPEMD(variant int) hash.Hash {
+	d := &ripemdDigest{variant: variant}
+	d.Reset()
+	return d
+}
+
+func (d *ripemdDigest) Size() int      { return d.variant / 8 }
+func (d *ripemdDigest) BlockSize() int { return 64 }
+
+func (d *ripemdDigest) Reset() {
+	d.n = 0
+	d.len = 0
+	switch d.variant {
+	case 128:
+		d.h = [10]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476}
+	case 160:
+		d.h = [10]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0}
+	case 256:
+		d.h = [10]uint32{
+			0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476,
+			0x76543210, 0xfedcba98, 0x89abcdef, 0x01234567,
+		}
+	case 320:
+		d.h = [10]uint32{
+			0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0,
+			0x76543210, 0xfedcba98, 0x89abcdef, 0x01234567, 0x3c2d1e0f,
+		}
+	}
+}
+
+func (d *ripemdDigest) Write(p []byte) (int, error) {
+	written := len(p)
+	d.len += uint64(written)
+	for len(p) > 0 {
+		space := 64 - d.n
+		if space > len(p) {
+			space = len(p)
+		}
+		copy(d.buf[d.n:], p[:space])
+		d.n += space
+		p = p[space:]
+		if d.n == 64 {
+			d.block(d.buf[:])
+			d.n = 0
+		}
+	}
+	return written, nil
+}
+
+func (d *ripemdDigest) block(p []byte) {
+	var x [16]uint32
+	for i := range x {
+		x[i] = binary.LittleEndian.Uint32(p[i*4:])
+	}
+	switch d.variant {
+	case 128:
+		d.block128(&x)
+	case 160:
+		d.block160(&x)
+	case 256:
+		d.block256(&x)
+	case 320:
+		d.block320(&x)
+	}
+}
+
+func (d *ripemdDigest) block128(x *[16]uint32) {
+	a, b, c, dd := d.h[0], d.h[1], d.h[2], d.h[3]
+	aa, bb, cc, ddd := d.h[0], d.h[1], d.h[2], d.h[3]
+	for j := 0; j < 64; j++ {
+		t := bits.RotateLeft32(a+ripemdF(j, b, c, dd)+x[ripemdR[j]]+ripemdK[j/16], ripemdS[j])
+		a, dd, c, b = dd, c, b, t
+		t = bits.RotateLeft32(aa+ripemdF(63-j, bb, cc, ddd)+x[ripemdRR[j]]+ripemdKK128[j/16], ripemdSS[j])
+		aa, ddd, cc, bb = ddd, cc, bb, t
+	}
+	t := d.h[1] + c + ddd
+	d.h[1] = d.h[2] + dd + aa
+	d.h[2] = d.h[3] + a + bb
+	d.h[3] = d.h[0] + b + cc
+	d.h[0] = t
+}
+
+func (d *ripemdDigest) block160(x *[16]uint32) {
+	a, b, c, dd, e := d.h[0], d.h[1], d.h[2], d.h[3], d.h[4]
+	aa, bb, cc, ddd, ee := d.h[0], d.h[1], d.h[2], d.h[3], d.h[4]
+	for j := 0; j < 80; j++ {
+		t := bits.RotateLeft32(a+ripemdF(j, b, c, dd)+x[ripemdR[j]]+ripemdK[j/16], ripemdS[j]) + e
+		a, e, dd, c, b = e, dd, bits.RotateLeft32(c, 10), b, t
+		t = bits.RotateLeft32(aa+ripemdF(79-j, bb, cc, ddd)+x[ripemdRR[j]]+ripemdKK160[j/16], ripemdSS[j]) + ee
+		aa, ee, ddd, cc, bb = ee, ddd, bits.RotateLeft32(cc, 10), bb, t
+	}
+	t := d.h[1] + c + ddd
+	d.h[1] = d.h[2] + dd + ee
+	d.h[2] = d.h[3] + e + aa
+	d.h[3] = d.h[4] + a + bb
+	d.h[4] = d.h[0] + b + cc
+	d.h[0] = t
+}
+
+func (d *ripemdDigest) block256(x *[16]uint32) {
+	a, b, c, dd := d.h[0], d.h[1], d.h[2], d.h[3]
+	aa, bb, cc, ddd := d.h[4], d.h[5], d.h[6], d.h[7]
+	for j := 0; j < 64; j++ {
+		t := bits.RotateLeft32(a+ripemdF(j, b, c, dd)+x[ripemdR[j]]+ripemdK[j/16], ripemdS[j])
+		a, dd, c, b = dd, c, b, t
+		t = bits.RotateLeft32(aa+ripemdF(63-j, bb, cc, ddd)+x[ripemdRR[j]]+ripemdKK128[j/16], ripemdSS[j])
+		aa, ddd, cc, bb = ddd, cc, bb, t
+		// Exchange one register between the lines after each round.
+		switch j {
+		case 15:
+			a, aa = aa, a
+		case 31:
+			b, bb = bb, b
+		case 47:
+			c, cc = cc, c
+		case 63:
+			dd, ddd = ddd, dd
+		}
+	}
+	d.h[0] += a
+	d.h[1] += b
+	d.h[2] += c
+	d.h[3] += dd
+	d.h[4] += aa
+	d.h[5] += bb
+	d.h[6] += cc
+	d.h[7] += ddd
+}
+
+func (d *ripemdDigest) block320(x *[16]uint32) {
+	a, b, c, dd, e := d.h[0], d.h[1], d.h[2], d.h[3], d.h[4]
+	aa, bb, cc, ddd, ee := d.h[5], d.h[6], d.h[7], d.h[8], d.h[9]
+	for j := 0; j < 80; j++ {
+		t := bits.RotateLeft32(a+ripemdF(j, b, c, dd)+x[ripemdR[j]]+ripemdK[j/16], ripemdS[j]) + e
+		a, e, dd, c, b = e, dd, bits.RotateLeft32(c, 10), b, t
+		t = bits.RotateLeft32(aa+ripemdF(79-j, bb, cc, ddd)+x[ripemdRR[j]]+ripemdKK160[j/16], ripemdSS[j]) + ee
+		aa, ee, ddd, cc, bb = ee, ddd, bits.RotateLeft32(cc, 10), bb, t
+		switch j {
+		case 15:
+			b, bb = bb, b
+		case 31:
+			dd, ddd = ddd, dd
+		case 47:
+			a, aa = aa, a
+		case 63:
+			c, cc = cc, c
+		case 79:
+			e, ee = ee, e
+		}
+	}
+	d.h[0] += a
+	d.h[1] += b
+	d.h[2] += c
+	d.h[3] += dd
+	d.h[4] += e
+	d.h[5] += aa
+	d.h[6] += bb
+	d.h[7] += cc
+	d.h[8] += ddd
+	d.h[9] += ee
+}
+
+func (d *ripemdDigest) Sum(in []byte) []byte {
+	cp := *d
+	msgLen := cp.len
+	var pad [64 + 8]byte
+	pad[0] = 0x80
+	padLen := 56 - int(msgLen%64)
+	if padLen <= 0 {
+		padLen += 64
+	}
+	binary.LittleEndian.PutUint64(pad[padLen:], msgLen<<3)
+	cp.Write(pad[:padLen+8]) //nolint:errcheck // cannot fail
+
+	out := make([]byte, cp.Size())
+	for i := 0; i < cp.Size()/4; i++ {
+		binary.LittleEndian.PutUint32(out[i*4:], cp.h[i])
+	}
+	return append(in, out...)
+}

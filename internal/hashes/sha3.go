@@ -1,0 +1,131 @@
+package hashes
+
+import (
+	"hash"
+	"math/bits"
+)
+
+// This file implements the SHA-3 family (FIPS 202) on top of a
+// from-scratch Keccak-f[1600] permutation. The rotation offsets are
+// generated from the spec's (t+1)(t+2)/2 walk rather than transcribed,
+// which removes a whole class of table typos.
+
+var keccakRC = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
+	0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// keccakRot[x][y] holds the rho rotation offset for lane (x, y).
+var keccakRot = func() (r [5][5]int) {
+	x, y := 1, 0
+	for t := 0; t < 24; t++ {
+		r[x][y] = ((t + 1) * (t + 2) / 2) % 64
+		x, y = y, (2*x+3*y)%5
+	}
+	return r
+}()
+
+// keccakF1600 applies the 24-round Keccak permutation to the state,
+// indexed as a[x+5*y].
+func keccakF1600(a *[25]uint64) {
+	for round := 0; round < 24; round++ {
+		// Theta.
+		var c [5]uint64
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d := c[(x+4)%5] ^ bits.RotateLeft64(c[(x+1)%5], 1)
+			for y := 0; y < 5; y++ {
+				a[x+5*y] ^= d
+			}
+		}
+		// Rho and Pi.
+		var b [25]uint64
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = bits.RotateLeft64(a[x+5*y], keccakRot[x][y])
+			}
+		}
+		// Chi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+			}
+		}
+		// Iota.
+		a[0] ^= keccakRC[round]
+	}
+}
+
+// sha3Digest is a sponge with SHA-3 domain padding (0x06 ... 0x80).
+type sha3Digest struct {
+	state   [25]uint64
+	rate    int // bytes absorbed per permutation
+	outSize int
+	buf     []byte
+}
+
+// NewSHA3_224 returns a new SHA3-224 hash.
+func NewSHA3_224() hash.Hash { return newSHA3(28) }
+
+// NewSHA3_256 returns a new SHA3-256 hash.
+func NewSHA3_256() hash.Hash { return newSHA3(32) }
+
+// NewSHA3_384 returns a new SHA3-384 hash.
+func NewSHA3_384() hash.Hash { return newSHA3(48) }
+
+// NewSHA3_512 returns a new SHA3-512 hash.
+func NewSHA3_512() hash.Hash { return newSHA3(64) }
+
+func newSHA3(outSize int) hash.Hash {
+	return &sha3Digest{rate: 200 - 2*outSize, outSize: outSize}
+}
+
+func (d *sha3Digest) Size() int      { return d.outSize }
+func (d *sha3Digest) BlockSize() int { return d.rate }
+
+func (d *sha3Digest) Reset() {
+	d.state = [25]uint64{}
+	d.buf = d.buf[:0]
+}
+
+func (d *sha3Digest) Write(p []byte) (int, error) {
+	written := len(p)
+	d.buf = append(d.buf, p...)
+	for len(d.buf) >= d.rate {
+		d.absorb(d.buf[:d.rate])
+		d.buf = d.buf[d.rate:]
+	}
+	return written, nil
+}
+
+func (d *sha3Digest) absorb(block []byte) {
+	for i := 0; i < len(block); i++ {
+		d.state[i/8] ^= uint64(block[i]) << (8 * (i % 8))
+	}
+	keccakF1600(&d.state)
+}
+
+func (d *sha3Digest) Sum(in []byte) []byte {
+	cp := *d
+	cp.buf = append([]byte(nil), d.buf...)
+
+	// Pad: SHA-3 domain bits (01) followed by pad10*1.
+	pad := make([]byte, cp.rate-len(cp.buf))
+	pad[0] = 0x06
+	pad[len(pad)-1] |= 0x80
+	cp.buf = append(cp.buf, pad...)
+	cp.absorb(cp.buf)
+
+	// Squeeze. All SHA-3 output sizes fit in a single rate block.
+	out := make([]byte, cp.outSize)
+	for i := range out {
+		out[i] = byte(cp.state[i/8] >> (8 * (i % 8)))
+	}
+	return append(in, out...)
+}

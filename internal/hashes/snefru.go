@@ -1,0 +1,149 @@
+package hashes
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math/bits"
+)
+
+// Snefru (Merkle, 1990) with 8 security passes. The original standard
+// S-boxes are tables of "random" words published with the reference
+// implementation and are not reproducible offline, so — per the DESIGN.md
+// substitution rule — we generate the sixteen 256-entry S-boxes
+// deterministically from a SHA-256 counter stream. The round structure
+// (512-bit block of 16 words, two S-boxes per pass selected by word index,
+// neighbour-XOR diffusion, the [16,8,16,24] rotation schedule, and the
+// reversed-word output feedback) follows the published algorithm, so the
+// code path a detector exercises is the same as with the original tables.
+
+// snefruSboxes holds 16 substitution boxes (two per security pass).
+var snefruSboxes = func() (boxes [16][256]uint32) {
+	var counter [8]byte
+	var blockIdx uint64
+	stream := func() [32]byte {
+		binary.BigEndian.PutUint64(counter[:], blockIdx)
+		blockIdx++
+		return sha256.Sum256(append([]byte("piileak/snefru/sbox/v1/"), counter[:]...))
+	}
+	buf := stream()
+	used := 0
+	next := func() uint32 {
+		if used+4 > len(buf) {
+			buf = stream()
+			used = 0
+		}
+		v := binary.BigEndian.Uint32(buf[used:])
+		used += 4
+		return v
+	}
+	for b := range boxes {
+		for i := range boxes[b] {
+			boxes[b][i] = next()
+		}
+	}
+	return boxes
+}()
+
+var snefruShifts = [4]int{16, 8, 16, 24}
+
+const snefruPasses = 8
+
+// snefruE applies the Snefru permutation to a 16-word block in place.
+func snefruE(block *[16]uint32) {
+	for pass := 0; pass < snefruPasses; pass++ {
+		for _, shift := range snefruShifts {
+			for i := 0; i < 16; i++ {
+				// Two S-boxes per pass, alternating every two words.
+				box := &snefruSboxes[2*pass+(i/2)%2]
+				t := box[byte(block[i])]
+				block[(i+15)%16] ^= t
+				block[(i+1)%16] ^= t
+			}
+			for i := 0; i < 16; i++ {
+				block[i] = bits.RotateLeft32(block[i], -shift)
+			}
+		}
+	}
+}
+
+// snefruDigest implements hash.Hash for Snefru with 128- or 256-bit output.
+type snefruDigest struct {
+	h        [8]uint32 // output chaining words (first outWords used)
+	outWords int       // 4 for Snefru-128, 8 for Snefru-256
+	buf      []byte
+	len      uint64
+}
+
+// NewSnefru128 returns a new Snefru hash with 128-bit output.
+func NewSnefru128() hash.Hash { return newSnefru(4) }
+
+// NewSnefru256 returns a new Snefru hash with 256-bit output.
+func NewSnefru256() hash.Hash { return newSnefru(8) }
+
+func newSnefru(outWords int) hash.Hash {
+	d := &snefruDigest{outWords: outWords}
+	d.Reset()
+	return d
+}
+
+func (d *snefruDigest) Size() int { return d.outWords * 4 }
+
+// BlockSize is the input chunk size: the 64-byte block minus the chaining
+// words.
+func (d *snefruDigest) BlockSize() int { return 64 - d.outWords*4 }
+
+func (d *snefruDigest) Reset() {
+	d.h = [8]uint32{}
+	d.buf = d.buf[:0]
+	d.len = 0
+}
+
+func (d *snefruDigest) Write(p []byte) (int, error) {
+	written := len(p)
+	d.len += uint64(written)
+	d.buf = append(d.buf, p...)
+	chunk := d.BlockSize()
+	for len(d.buf) >= chunk {
+		d.block(d.buf[:chunk])
+		d.buf = d.buf[chunk:]
+	}
+	return written, nil
+}
+
+// block hashes one input chunk: the 16-word block is the chaining value
+// followed by the chunk; after the permutation the chaining value absorbs
+// the reversed tail words.
+func (d *snefruDigest) block(chunk []byte) {
+	var b [16]uint32
+	copy(b[:d.outWords], d.h[:d.outWords])
+	for i := 0; i < len(chunk)/4; i++ {
+		b[d.outWords+i] = binary.BigEndian.Uint32(chunk[i*4:])
+	}
+	snefruE(&b)
+	for i := 0; i < d.outWords; i++ {
+		d.h[i] ^= b[15-i]
+	}
+}
+
+func (d *snefruDigest) Sum(in []byte) []byte {
+	cp := *d
+	cp.buf = append([]byte(nil), d.buf...)
+	chunk := cp.BlockSize()
+	// Zero-pad the final partial chunk.
+	if len(cp.buf) > 0 {
+		pad := make([]byte, chunk-len(cp.buf))
+		cp.buf = append(cp.buf, pad...)
+		cp.block(cp.buf)
+	}
+	// Final length block: bit count in the last two words.
+	lenBlock := make([]byte, chunk)
+	binary.BigEndian.PutUint64(lenBlock[chunk-8:], cp.len*8)
+	cp.block(lenBlock)
+
+	out := make([]byte, cp.Size())
+	for i := 0; i < cp.outWords; i++ {
+		binary.BigEndian.PutUint32(out[i*4:], cp.h[i])
+	}
+	return append(in, out...)
+}

@@ -1,0 +1,82 @@
+package httpmodel
+
+import "net/url"
+
+// SurfaceKind names one of the paper's four leak channels (§4.1).
+type SurfaceKind string
+
+// The four leak channels of Figure 1.
+const (
+	SurfaceReferer SurfaceKind = "referer"
+	SurfaceURI     SurfaceKind = "uri"
+	SurfaceCookie  SurfaceKind = "cookie"
+	SurfaceBody    SurfaceKind = "payload"
+)
+
+// AllSurfaceKinds lists the channels in the paper's Table 1a order.
+var AllSurfaceKinds = []SurfaceKind{SurfaceReferer, SurfaceURI, SurfaceBody, SurfaceCookie}
+
+// Surface is one scannable byte region of a request, labelled with the
+// channel it leaks through and, where applicable, the parameter or
+// cookie name carrying it. The detector matches candidate tokens inside
+// Data; Name feeds the trackid-parameter mining of §5.2.
+type Surface struct {
+	Kind SurfaceKind
+	// Name is the query-parameter, body-field or cookie name the data
+	// came from; empty for whole-region surfaces (the full query
+	// string, the raw body, the referer URL).
+	Name string
+	Data []byte
+}
+
+// Surfaces decomposes a request into its leak surfaces:
+//
+//   - referer: the Referer header, raw and percent-decoded;
+//   - uri: the raw query string, its percent-decoded form, and each
+//     decoded parameter value individually (named);
+//   - cookie: each sent cookie value (named);
+//   - payload: the raw body plus each decoded form/JSON field (named).
+//
+// Whole-region surfaces catch tokens that straddle parameter boundaries
+// or hide in unparsed formats; named surfaces attribute a token to the
+// identifier parameter that carries it.
+func Surfaces(r *Request) []Surface {
+	var out []Surface
+
+	if ref := r.Referer(); ref != "" {
+		out = append(out, Surface{Kind: SurfaceReferer, Data: []byte(ref)})
+		if dec, err := url.QueryUnescape(ref); err == nil && dec != ref {
+			out = append(out, Surface{Kind: SurfaceReferer, Data: []byte(dec)})
+		}
+	}
+
+	if u, err := url.Parse(r.URL); err == nil {
+		if q := u.RawQuery; q != "" {
+			out = append(out, Surface{Kind: SurfaceURI, Data: []byte(q)})
+			if dec, err := url.QueryUnescape(q); err == nil && dec != q {
+				out = append(out, Surface{Kind: SurfaceURI, Data: []byte(dec)})
+			}
+		}
+		if p := u.Path; p != "" && p != "/" {
+			out = append(out, Surface{Kind: SurfaceURI, Data: []byte(p)})
+		}
+	}
+	for _, p := range r.QueryParams() {
+		out = append(out, Surface{Kind: SurfaceURI, Name: p.Key, Data: []byte(p.Value)})
+	}
+
+	for _, c := range r.Cookies {
+		out = append(out, Surface{Kind: SurfaceCookie, Name: c.Name, Data: []byte(c.Value)})
+		if dec, err := url.QueryUnescape(c.Value); err == nil && dec != c.Value {
+			out = append(out, Surface{Kind: SurfaceCookie, Name: c.Name, Data: []byte(dec)})
+		}
+	}
+
+	if len(r.Body) > 0 {
+		out = append(out, Surface{Kind: SurfaceBody, Data: r.Body})
+		for _, p := range r.BodyParams() {
+			out = append(out, Surface{Kind: SurfaceBody, Name: p.Key, Data: []byte(p.Value)})
+		}
+	}
+	return out
+}

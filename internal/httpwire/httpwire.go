@@ -1,0 +1,122 @@
+// Package httpwire serializes the study's traffic records to raw
+// HTTP/1.1 messages — the bytes that would have crossed the wire. The
+// pcap exporter embeds them in synthesized TCP streams, and the tests
+// verify every message by parsing it back with net/http's own readers
+// (the standard library as oracle).
+package httpwire
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+
+	"piileak/internal/httpmodel"
+)
+
+// Request renders a request as an HTTP/1.1 message (origin-form target,
+// Host header, sorted headers for determinism, cookies folded into one
+// Cookie header, Content-Length for bodies).
+func Request(r *httpmodel.Request) ([]byte, error) {
+	u, err := url.Parse(r.URL)
+	if err != nil {
+		return nil, fmt.Errorf("httpwire: parsing %q: %w", r.URL, err)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("httpwire: %q has no host", r.URL)
+	}
+	target := u.RequestURI()
+	if target == "" {
+		target = "/"
+	}
+	method := r.Method
+	if method == "" {
+		method = "GET"
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", method, target)
+	fmt.Fprintf(&b, "Host: %s\r\n", u.Host)
+
+	names := make([]string, 0, len(r.Headers))
+	for name := range r.Headers {
+		if strings.EqualFold(name, "Host") || strings.EqualFold(name, "Content-Length") ||
+			strings.EqualFold(name, "Cookie") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s: %s\r\n", name, sanitizeHeader(r.Headers[name]))
+	}
+	if len(r.Cookies) > 0 {
+		pairs := make([]string, len(r.Cookies))
+		for i, c := range r.Cookies {
+			pairs[i] = c.Name + "=" + c.Value
+		}
+		fmt.Fprintf(&b, "Cookie: %s\r\n", sanitizeHeader(strings.Join(pairs, "; ")))
+	}
+	if r.BodyType != "" {
+		fmt.Fprintf(&b, "Content-Type: %s\r\n", sanitizeHeader(r.BodyType))
+	}
+	if len(r.Body) > 0 || method == "POST" {
+		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+	}
+	b.WriteString("\r\n")
+	out := append([]byte(b.String()), r.Body...)
+	return out, nil
+}
+
+// Response renders a response as an HTTP/1.1 message. The simulator does
+// not model response bodies, so Content-Length is zero and Set-Cookie
+// headers carry the stored cookies.
+func Response(resp *httpmodel.Response) []byte {
+	status := resp.Status
+	if status == 0 {
+		status = 200
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", status, statusText(status))
+
+	names := make([]string, 0, len(resp.Headers))
+	for name := range resp.Headers {
+		if strings.EqualFold(name, "Content-Length") || strings.EqualFold(name, "Set-Cookie") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s: %s\r\n", name, sanitizeHeader(resp.Headers[name]))
+	}
+	for _, c := range resp.SetCookies {
+		fmt.Fprintf(&b, "Set-Cookie: %s=%s; Domain=%s; Path=/\r\n",
+			c.Name, sanitizeHeader(c.Value), c.Domain)
+	}
+	b.WriteString("Content-Length: 0\r\n\r\n")
+	return []byte(b.String())
+}
+
+// sanitizeHeader strips CR/LF so synthesized values cannot split
+// headers.
+func sanitizeHeader(v string) string {
+	v = strings.ReplaceAll(v, "\r", "")
+	return strings.ReplaceAll(v, "\n", " ")
+}
+
+// statusText covers the statuses the simulator emits.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 204:
+		return "No Content"
+	case 302:
+		return "Found"
+	case 404:
+		return "Not Found"
+	default:
+		return "Status"
+	}
+}

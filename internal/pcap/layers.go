@@ -1,0 +1,101 @@
+package pcap
+
+import "encoding/binary"
+
+// Link-layer synthesis: Ethernet II + IPv4 + TCP with correct lengths,
+// flags and checksums, so tcpdump/Wireshark reassemble the streams.
+
+const (
+	etherTypeIPv4 = 0x0800
+	ipProtoTCP    = 6
+	ipHeaderLen   = 20
+	tcpHeaderLen  = 20
+	etherLen      = 14
+	// mss bounds TCP payload per segment (standard Ethernet).
+	mss = 1460
+)
+
+// TCP flag bits.
+const (
+	flagFIN = 0x01
+	flagSYN = 0x02
+	flagRST = 0x04
+	flagPSH = 0x08
+	flagACK = 0x10
+)
+
+var (
+	clientMAC = [6]byte{0x02, 0x50, 0x49, 0x49, 0x00, 0x01} // locally administered
+	serverMAC = [6]byte{0x02, 0x50, 0x49, 0x49, 0x00, 0x02}
+)
+
+// buildFrame assembles one Ethernet/IPv4/TCP frame.
+func buildFrame(srcIP, dstIP [4]byte, srcMAC, dstMAC [6]byte,
+	srcPort, dstPort uint16, seq, ack uint32, flags byte, payload []byte) []byte {
+
+	total := etherLen + ipHeaderLen + tcpHeaderLen + len(payload)
+	f := make([]byte, total)
+
+	// Ethernet II.
+	copy(f[0:6], dstMAC[:])
+	copy(f[6:12], srcMAC[:])
+	binary.BigEndian.PutUint16(f[12:14], etherTypeIPv4)
+
+	// IPv4.
+	ip := f[etherLen : etherLen+ipHeaderLen]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipHeaderLen+tcpHeaderLen+len(payload)))
+	binary.BigEndian.PutUint16(ip[4:6], 0) // identification
+	ip[6] = 0x40                           // don't fragment
+	ip[8] = 64                             // TTL
+	ip[9] = ipProtoTCP
+	copy(ip[12:16], srcIP[:])
+	copy(ip[16:20], dstIP[:])
+	binary.BigEndian.PutUint16(ip[10:12], checksum(ip, 0))
+
+	// TCP.
+	tcp := f[etherLen+ipHeaderLen:]
+	binary.BigEndian.PutUint16(tcp[0:2], srcPort)
+	binary.BigEndian.PutUint16(tcp[2:4], dstPort)
+	binary.BigEndian.PutUint32(tcp[4:8], seq)
+	binary.BigEndian.PutUint32(tcp[8:12], ack)
+	tcp[12] = (tcpHeaderLen / 4) << 4 // data offset
+	tcp[13] = flags
+	binary.BigEndian.PutUint16(tcp[14:16], 65535) // window
+	copy(tcp[tcpHeaderLen:], payload)
+	binary.BigEndian.PutUint16(tcp[16:18], tcpChecksum(srcIP, dstIP, tcp))
+
+	return f
+}
+
+// checksum is the ones-complement sum over data with an initial value.
+func checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// tcpChecksum computes the TCP checksum over the pseudo-header plus
+// segment (checksum field zeroed by the caller's layout).
+func tcpChecksum(srcIP, dstIP [4]byte, segment []byte) uint16 {
+	var pseudo [12]byte
+	copy(pseudo[0:4], srcIP[:])
+	copy(pseudo[4:8], dstIP[:])
+	pseudo[9] = ipProtoTCP
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(segment)))
+
+	sum := uint32(0)
+	for i := 0; i < len(pseudo); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(pseudo[i : i+2]))
+	}
+	// The checksum field (bytes 16..18) is zero at this point.
+	return checksum(segment, sum)
+}

@@ -1,0 +1,199 @@
+// Package pcap exports the study's captured traffic as a classic
+// libpcap file: each HTTP exchange becomes a complete synthesized TCP
+// connection (handshake, MSS-segmented request and response, teardown)
+// over Ethernet/IPv4, with correct lengths and checksums, so the
+// synthetic crawl opens in Wireshark or tcpdump for inspection with
+// standard tooling.
+//
+// The simulator's logical HTTPS exchanges are exported as the plaintext
+// HTTP they carry (as if captured after TLS termination), on port 80 —
+// documented in DESIGN.md alongside the other substitutions.
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"piileak/internal/httpmodel"
+	"piileak/internal/httpwire"
+)
+
+// Classic pcap constants.
+const (
+	magicMicroseconds = 0xA1B2C3D4
+	versionMajor      = 2
+	versionMinor      = 4
+	linkTypeEthernet  = 1
+	snapLen           = 262144
+)
+
+// baseTime anchors packet timestamps at the study's collection period
+// (May 2021); fixed for determinism.
+var baseTime = time.Date(2021, time.May, 10, 12, 0, 0, 0, time.UTC)
+
+// Writer streams a pcap file.
+type Writer struct {
+	w    io.Writer
+	tick time.Duration // advances per packet
+	now  time.Time
+	// nextPort hands out client ephemeral ports.
+	nextPort uint16
+	wrote    bool
+}
+
+// NewWriter creates a pcap writer; the global header is emitted on the
+// first packet.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, now: baseTime, nextPort: 40000, tick: 150 * time.Microsecond}
+}
+
+func (pw *Writer) header() error {
+	var h [24]byte
+	binary.LittleEndian.PutUint32(h[0:4], magicMicroseconds)
+	binary.LittleEndian.PutUint16(h[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(h[6:8], versionMinor)
+	// thiszone, sigfigs: zero.
+	binary.LittleEndian.PutUint32(h[16:20], snapLen)
+	binary.LittleEndian.PutUint32(h[20:24], linkTypeEthernet)
+	_, err := pw.w.Write(h[:])
+	return err
+}
+
+// writePacket emits one frame with the next timestamp.
+func (pw *Writer) writePacket(frame []byte) error {
+	if !pw.wrote {
+		if err := pw.header(); err != nil {
+			return err
+		}
+		pw.wrote = true
+	}
+	pw.now = pw.now.Add(pw.tick)
+	var h [16]byte
+	binary.LittleEndian.PutUint32(h[0:4], uint32(pw.now.Unix()))
+	binary.LittleEndian.PutUint32(h[4:8], uint32(pw.now.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(h[8:12], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(len(frame)))
+	if _, err := pw.w.Write(h[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(frame)
+	return err
+}
+
+var clientIP = [4]byte{10, 0, 0, 2}
+
+// serverIPFor maps a host deterministically into 198.18.0.0/15 (the
+// benchmarking range, guaranteed not to collide with real addresses).
+func serverIPFor(host string) [4]byte {
+	h := fnv.New32a()
+	h.Write([]byte(host))
+	v := h.Sum32()
+	return [4]byte{198, 18 + byte(v>>16&0x01), byte(v >> 8), byte(v)}
+}
+
+// WriteExchange synthesizes one full TCP connection carrying the
+// record's HTTP exchange.
+func (pw *Writer) WriteExchange(rec *httpmodel.Record) error {
+	reqBytes, err := httpwire.Request(&rec.Request)
+	if err != nil {
+		return fmt.Errorf("pcap: record %d: %w", rec.Seq, err)
+	}
+	respBytes := httpwire.Response(&rec.Response)
+
+	host := rec.Request.Host()
+	srvIP := serverIPFor(host)
+	srcPort := pw.nextPort
+	pw.nextPort++
+	if pw.nextPort < 40000 {
+		pw.nextPort = 40000
+	}
+	const dstPort = 80
+
+	cSeq := uint32(1000)
+	sSeq := uint32(2000)
+
+	send := func(fromClient bool, seq, ack uint32, flags byte, payload []byte) error {
+		var frame []byte
+		if fromClient {
+			frame = buildFrame(clientIP, srvIP, clientMAC, serverMAC, srcPort, dstPort, seq, ack, flags, payload)
+		} else {
+			frame = buildFrame(srvIP, clientIP, serverMAC, clientMAC, dstPort, srcPort, seq, ack, flags, payload)
+		}
+		return pw.writePacket(frame)
+	}
+
+	// Handshake.
+	if err := send(true, cSeq, 0, flagSYN, nil); err != nil {
+		return err
+	}
+	if err := send(false, sSeq, cSeq+1, flagSYN|flagACK, nil); err != nil {
+		return err
+	}
+	cSeq++
+	sSeq++
+	if err := send(true, cSeq, sSeq, flagACK, nil); err != nil {
+		return err
+	}
+
+	// Request, MSS-segmented.
+	for off := 0; off < len(reqBytes); off += mss {
+		end := off + mss
+		if end > len(reqBytes) {
+			end = len(reqBytes)
+		}
+		flags := byte(flagACK)
+		if end == len(reqBytes) {
+			flags |= flagPSH
+		}
+		if err := send(true, cSeq, sSeq, flags, reqBytes[off:end]); err != nil {
+			return err
+		}
+		cSeq += uint32(end - off)
+	}
+	if err := send(false, sSeq, cSeq, flagACK, nil); err != nil {
+		return err
+	}
+
+	// Response.
+	for off := 0; off < len(respBytes); off += mss {
+		end := off + mss
+		if end > len(respBytes) {
+			end = len(respBytes)
+		}
+		flags := byte(flagACK)
+		if end == len(respBytes) {
+			flags |= flagPSH
+		}
+		if err := send(false, sSeq, cSeq, flags, respBytes[off:end]); err != nil {
+			return err
+		}
+		sSeq += uint32(end - off)
+	}
+	if err := send(true, cSeq, sSeq, flagACK, nil); err != nil {
+		return err
+	}
+
+	// Teardown.
+	if err := send(true, cSeq, sSeq, flagFIN|flagACK, nil); err != nil {
+		return err
+	}
+	cSeq++
+	if err := send(false, sSeq, cSeq, flagFIN|flagACK, nil); err != nil {
+		return err
+	}
+	sSeq++
+	return send(true, cSeq, sSeq, flagACK, nil)
+}
+
+// WriteRecords exports a record sequence.
+func (pw *Writer) WriteRecords(records []httpmodel.Record) error {
+	for i := range records {
+		if err := pw.WriteExchange(&records[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package pii
+
+import (
+	"fmt"
+
+	"piileak/internal/ahocorasick"
+)
+
+// CandidateConfig controls candidate-token generation (§3.1).
+type CandidateConfig struct {
+	// MaxDepth is the maximum transform-chain length. The paper applies
+	// encodings/hashes "at most three times"; depth 2 already covers
+	// every chain observed in its Table 2 (the deepest being SHA256 of
+	// MD5), so 2 is the default. Depth 3 is exercised by ablation A1.
+	MaxDepth int
+	// Transforms restricts the transform set; nil means every
+	// registered transform except base64url. (An unpadded base64url
+	// token is a strict prefix of the padded base64 token of the same
+	// plaintext, so including both double-reports every base64 leak;
+	// pass Transforms explicitly to hunt base64url-only trackers.)
+	Transforms []string
+	// MinTokenLen drops tokens shorter than this many bytes, which
+	// would false-positive on unrelated traffic (e.g. 4-hex-digit CRC16
+	// of short fields). Default 8.
+	MinTokenLen int
+}
+
+func (c CandidateConfig) withDefaults() CandidateConfig {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 2
+	}
+	if c.Transforms == nil {
+		for _, name := range TransformNames() {
+			if name != "base64url" {
+				c.Transforms = append(c.Transforms, name)
+			}
+		}
+	}
+	if c.MinTokenLen == 0 {
+		c.MinTokenLen = 8
+	}
+	return c
+}
+
+// Token is one candidate string the detector searches for.
+type Token struct {
+	// Value is the exact byte string to match.
+	Value string `json:"value"`
+	// Field is the PII field the token derives from.
+	Field Field `json:"field"`
+	// Chain is the transform chain, innermost first; empty for
+	// plaintext.
+	Chain []string `json:"chain,omitempty"`
+}
+
+// Label renders the token's chain in Table 1b vocabulary.
+func (t Token) Label() string { return ChainLabel(t.Chain) }
+
+// CandidateSet is the compiled token set: the tokens plus an
+// Aho-Corasick automaton for single-pass scanning. It is immutable and
+// safe for concurrent use.
+type CandidateSet struct {
+	cfg     CandidateConfig
+	tokens  []Token
+	matcher *ahocorasick.Matcher
+}
+
+// BuildCandidates generates and compiles the candidate set for a
+// persona. Chains are explored breadth first and deduplicated by value,
+// so a value reachable through several chains is attributed to its
+// shortest chain (e.g. rot13∘rot13 collapses into plaintext).
+func BuildCandidates(p Persona, cfg CandidateConfig) (*CandidateSet, error) {
+	cfg = cfg.withDefaults()
+	transforms := make([]Transform, 0, len(cfg.Transforms))
+	for _, name := range cfg.Transforms {
+		t, ok := LookupTransform(name)
+		if !ok {
+			return nil, fmt.Errorf("pii: unknown transform %q", name)
+		}
+		transforms = append(transforms, t)
+	}
+
+	cs := &CandidateSet{cfg: cfg}
+	seen := make(map[string]bool)
+	add := func(value []byte, field Field, chain []string) {
+		if len(value) < cfg.MinTokenLen || seen[string(value)] {
+			return
+		}
+		seen[string(value)] = true
+		cs.tokens = append(cs.tokens, Token{Value: string(value), Field: field, Chain: chain})
+	}
+
+	type work struct {
+		data  []byte
+		chain []string
+	}
+	for _, field := range p.Fields() {
+		level := []work{{data: []byte(field.Value)}}
+		add(level[0].data, field, nil)
+		for depth := 1; depth <= cfg.MaxDepth; depth++ {
+			next := make([]work, 0, len(level)*len(transforms))
+			for _, w := range level {
+				for _, t := range transforms {
+					// Skip immediate self-repetition: for hashes it
+					// is covered by depth anyway and for involutions
+					// (rot13) it collapses to the parent.
+					if len(w.chain) > 0 && w.chain[len(w.chain)-1] == t.Name {
+						continue
+					}
+					out := t.Apply(w.data)
+					chain := append(append([]string(nil), w.chain...), t.Name)
+					add(out, field, chain)
+					next = append(next, work{data: out, chain: chain})
+				}
+			}
+			level = next
+		}
+	}
+
+	patterns := make([][]byte, len(cs.tokens))
+	for i, t := range cs.tokens {
+		patterns[i] = []byte(t.Value)
+	}
+	cs.matcher = ahocorasick.New(patterns)
+	return cs, nil
+}
+
+// MustBuildCandidates panics on configuration errors.
+func MustBuildCandidates(p Persona, cfg CandidateConfig) *CandidateSet {
+	cs, err := BuildCandidates(p, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+// FindIn returns the distinct tokens occurring in data, in first-match
+// order.
+func (cs *CandidateSet) FindIn(data []byte) []Token {
+	idxs := cs.matcher.FindUnique(data)
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]Token, len(idxs))
+	for i, idx := range idxs {
+		out[i] = cs.tokens[idx]
+	}
+	return out
+}
+
+// Contains reports whether any candidate token occurs in data.
+func (cs *CandidateSet) Contains(data []byte) bool {
+	return cs.matcher.Contains(data)
+}
+
+// Tokens returns the generated tokens. Callers must not mutate the
+// result.
+func (cs *CandidateSet) Tokens() []Token { return cs.tokens }
+
+// Size returns the number of candidate tokens.
+func (cs *CandidateSet) Size() int { return len(cs.tokens) }
+
+// States returns the automaton state count (a memory proxy reported by
+// ablation A1).
+func (cs *CandidateSet) States() int { return cs.matcher.NumStates() }
+
+// Config returns the effective configuration after defaulting.
+func (cs *CandidateSet) Config() CandidateConfig { return cs.cfg }

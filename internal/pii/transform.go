@@ -1,0 +1,95 @@
+package pii
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"piileak/internal/encode"
+	"piileak/internal/hashes"
+)
+
+// Transform is one byte-string transform usable in a candidate chain.
+// Hash transforms emit the lower-case hexadecimal digest — the canonical
+// wire form of hashed identifiers (§4.2.2) — so that chains like
+// "SHA256 of MD5" hash the hex string, matching tracker practice.
+type Transform struct {
+	Name   string
+	IsHash bool
+	Apply  func([]byte) []byte
+}
+
+// transformRegistry holds the paper's full appendix list: every encoding
+// from package encode and every hash from package hashes.
+var transformRegistry = func() map[string]Transform {
+	reg := make(map[string]Transform)
+	for _, name := range encode.Names() {
+		c, _ := encode.Lookup(name)
+		reg[name] = Transform{Name: name, Apply: c.Encode}
+	}
+	for _, name := range hashes.Names() {
+		f, _ := hashes.Lookup(name)
+		fn := f // capture
+		reg[name] = Transform{
+			Name:   name,
+			IsHash: true,
+			Apply:  func(d []byte) []byte { return []byte(fn.HexSum(d)) },
+		}
+	}
+	return reg
+}()
+
+// TransformNames returns all registered transform names, sorted.
+func TransformNames() []string {
+	names := make([]string, 0, len(transformRegistry))
+	for n := range transformRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupTransform returns the named transform.
+func LookupTransform(name string) (Transform, bool) {
+	t, ok := transformRegistry[name]
+	return t, ok
+}
+
+// ApplyChain applies a transform chain left to right: chain {"md5",
+// "sha256"} computes sha256(hex(md5(value))) — the paper's "SHA256 of
+// MD5". An empty chain returns the plaintext bytes.
+func ApplyChain(value string, chain []string) ([]byte, error) {
+	data := []byte(value)
+	for _, name := range chain {
+		t, ok := transformRegistry[name]
+		if !ok {
+			return nil, fmt.Errorf("pii: unknown transform %q in chain", name)
+		}
+		data = t.Apply(data)
+	}
+	return data, nil
+}
+
+// MustApplyChain is ApplyChain for statically known chains.
+func MustApplyChain(value string, chain []string) []byte {
+	out, err := ApplyChain(value, chain)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ChainLabel renders a chain in the paper's Table 1b vocabulary:
+// "plaintext", "sha256", "base64", "sha256ofmd5", ...
+func ChainLabel(chain []string) string {
+	if len(chain) == 0 {
+		return "plaintext"
+	}
+	parts := make([]string, len(chain))
+	for i := range chain {
+		// Display order is outermost first: {"md5","sha256"} reads
+		// "sha256ofmd5".
+		parts[i] = chain[len(chain)-1-i]
+	}
+	return strings.Join(parts, "of")
+}

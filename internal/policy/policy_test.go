@@ -1,0 +1,101 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"piileak/internal/site"
+	"piileak/internal/webgen"
+)
+
+func siteWithClass(c site.PolicyClass) *site.Site {
+	return &site.Site{Domain: "shop.example", Policy: c}
+}
+
+func TestGenerateClassifyRoundTrip(t *testing.T) {
+	for _, c := range []site.PolicyClass{
+		site.PolicyNotSpecific, site.PolicySpecific,
+		site.PolicyNoDescription, site.PolicyExplicitlyNot,
+	} {
+		text := Generate(siteWithClass(c))
+		if got := Classify(text); got != c {
+			t.Errorf("class %q round-tripped as %q\n%s", c, got, text)
+		}
+	}
+}
+
+func TestGenerateMentionsCollection(t *testing.T) {
+	// §6: all policies disclose collection, whatever the sharing class.
+	for _, c := range []site.PolicyClass{
+		site.PolicyNotSpecific, site.PolicySpecific,
+		site.PolicyNoDescription, site.PolicyExplicitlyNot,
+	} {
+		text := Generate(siteWithClass(c))
+		if !strings.Contains(text, "collect personal information") {
+			t.Errorf("class %q policy does not disclose collection", c)
+		}
+	}
+}
+
+func TestSpecificListsReceivers(t *testing.T) {
+	s := siteWithClass(site.PolicySpecific)
+	s.Tags = []site.Tag{
+		{Receiver: "facebook.com", Actions: []site.LeakAction{{}}},
+		{Receiver: "criteo.com", Actions: []site.LeakAction{{}}},
+		{Receiver: "benign-cdn.net"}, // no actions: not disclosed
+	}
+	text := Generate(s)
+	if !strings.Contains(text, "criteo.com") || !strings.Contains(text, "facebook.com") {
+		t.Errorf("specific policy lacks receivers:\n%s", text)
+	}
+	if strings.Contains(text, "benign-cdn.net") {
+		t.Error("specific policy lists a non-receiving tag")
+	}
+}
+
+func TestClassifyEdgeCases(t *testing.T) {
+	cases := map[string]site.PolicyClass{
+		"We DO NOT SHARE your data with anyone.":             site.PolicyExplicitlyNot,
+		"we share data with the following third parties: X.": site.PolicySpecific,
+		"We may share information with third-party vendors.": site.PolicyNotSpecific,
+		"We love cookies. That is all.":                      site.PolicyNoDescription,
+		"":                                                   site.PolicyNoDescription,
+	}
+	for text, want := range cases {
+		if got := Classify(text); got != want {
+			t.Errorf("Classify(%q) = %q, want %q", text, got, want)
+		}
+	}
+}
+
+func TestAuditRecoversEcosystemClasses(t *testing.T) {
+	eco := webgen.MustGenerate(webgen.SmallConfig(41))
+	tbl := Audit(eco.SenderSites)
+	cfg := eco.Config
+	if tbl.Total != cfg.Senders {
+		t.Errorf("total = %d, want %d", tbl.Total, cfg.Senders)
+	}
+	if tbl.NotSpecific != cfg.PolicyNotSpecific {
+		t.Errorf("not-specific = %d, want %d", tbl.NotSpecific, cfg.PolicyNotSpecific)
+	}
+	if tbl.Specific != cfg.PolicySpecific {
+		t.Errorf("specific = %d, want %d", tbl.Specific, cfg.PolicySpecific)
+	}
+	if tbl.NoDescription != cfg.PolicyNoDescription {
+		t.Errorf("no-description = %d, want %d", tbl.NoDescription, cfg.PolicyNoDescription)
+	}
+	if tbl.ExplicitlyNot != cfg.PolicyExplicitNot {
+		t.Errorf("explicitly-not = %d, want %d", tbl.ExplicitlyNot, cfg.PolicyExplicitNot)
+	}
+}
+
+func TestTable3Rows(t *testing.T) {
+	tbl := Table3{NotSpecific: 102, Specific: 9, NoDescription: 15, ExplicitlyNot: 4, Total: 130}
+	rows := tbl.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Count != 102 || rows[0].Pct < 78.4 || rows[0].Pct > 78.6 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+}

@@ -1,0 +1,96 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"piileak/internal/site"
+)
+
+// The corpus generator uses several phrasings per disclosure class, so
+// the classifier is exercised on linguistic variation rather than on a
+// single fixed sentence per class. Variant selection is deterministic
+// per site (hash of the domain), keeping the audit reproducible.
+
+var collectionIntros = []string{
+	"We collect personal information you provide when creating an account, " +
+		"such as your name, e-mail address and contact details, " +
+		"together with order history and device information.",
+	"When you register, we collect personal information including your " +
+		"e-mail address, name and, where provided, your phone number.",
+	"Personal information — for example your name and e-mail address — is " +
+		"collected when you sign up, place an order or contact support.",
+}
+
+var notSpecificClauses = []string{
+	"We may share your personal information with third-party partners, " +
+		"advertising networks and service providers that support our business, " +
+		"and with other parties as permitted by law.",
+	"Your personal information may be disclosed to selected third parties, " +
+		"including analytics and marketing providers, to improve our services.",
+	"We sometimes share information about you with third-party vendors who " +
+		"perform services on our behalf.",
+}
+
+var noDescriptionClauses = []string{
+	"We use cookies to keep you signed in and to remember your cart.",
+	"Our site uses cookies and similar technologies to provide core shop " +
+		"functionality and measure site performance.",
+	"Session cookies keep your basket between visits; you can clear them " +
+		"in your browser settings.",
+}
+
+var explicitlyNotClauses = []string{
+	"We do not share your personal information with third parties for " +
+		"their marketing purposes.",
+	"Your personal data is never shared with or sold to third parties.",
+	"We will not disclose your personal information to any third party, " +
+		"except where the law requires it.",
+}
+
+// variant picks a deterministic template index for a site.
+func variant(domain string, n int) int {
+	var sum int
+	for i := 0; i < len(domain); i++ {
+		sum = sum*31 + int(domain[i])
+	}
+	if sum < 0 {
+		sum = -sum
+	}
+	return sum % n
+}
+
+// Generate renders the privacy-policy text a site publishes. The
+// phrasing varies per site; the disclosure semantics follow the site's
+// class.
+func Generate(s *site.Site) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — Privacy Policy\n\n", s.Domain)
+	b.WriteString("1. Information we collect.\n")
+	b.WriteString(collectionIntros[variant(s.Domain, len(collectionIntros))])
+	b.WriteString("\n\n")
+
+	switch s.Policy {
+	case site.PolicyNotSpecific:
+		b.WriteString("2. How we use and disclose information.\n")
+		b.WriteString(notSpecificClauses[variant(s.Domain, len(notSpecificClauses))])
+		b.WriteString("\n\n")
+	case site.PolicySpecific:
+		b.WriteString("2. Third parties receiving your data.\n")
+		b.WriteString("We share personal information with the following third parties: ")
+		b.WriteString(strings.Join(specificReceivers(s), ", "))
+		b.WriteString(". Each processes your data under its own privacy policy.\n\n")
+	case site.PolicyNoDescription:
+		b.WriteString("2. Cookies.\n")
+		b.WriteString(noDescriptionClauses[variant(s.Domain, len(noDescriptionClauses))])
+		b.WriteString("\n\n")
+	case site.PolicyExplicitlyNot:
+		b.WriteString("2. Your privacy.\n")
+		b.WriteString(explicitlyNotClauses[variant(s.Domain, len(explicitlyNotClauses))])
+		b.WriteString("\n\n")
+	}
+
+	b.WriteString("3. Contact.\n")
+	fmt.Fprintf(&b, "Questions about this policy: privacy@%s.\n", s.Domain)
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package psl
+
+import "testing"
+
+// FuzzPublicSuffix ensures arbitrary host strings never panic the
+// algorithm and that ETLDPlusOne output, when present, ends with the
+// public suffix.
+func FuzzPublicSuffix(f *testing.F) {
+	f.Add("www.example.com")
+	f.Add("a.b.c.co.jp")
+	f.Add("..")
+	f.Add("")
+	f.Add("x.ck")
+	f.Add("www.ck")
+	f.Add(":8080")
+	f.Fuzz(func(t *testing.T, host string) {
+		if len(host) > 1<<10 {
+			return
+		}
+		suffix := PublicSuffix(host)
+		e, err := ETLDPlusOne(host)
+		if err == nil {
+			if suffix == "" {
+				t.Fatalf("ETLDPlusOne(%q) = %q but no public suffix", host, e)
+			}
+			if e != suffix && !hasSuffix(e, "."+suffix) {
+				t.Fatalf("ETLDPlusOne(%q) = %q does not end with suffix %q", host, e, suffix)
+			}
+		}
+	})
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

@@ -1,0 +1,181 @@
+// Package trackerdb simulates the *tracker's side* of §5.1: the server
+// that receives PII-derived identifiers and stores, per identifier, a
+// persistent profile of the user's browsing — Figure 3's scenario made
+// concrete. It shows what a receiver can reconstruct from the leaks the
+// study detects: a cross-site, cross-browser history keyed by (hashed)
+// e-mail rather than by any cookie.
+//
+// The store consumes detection output (core.Leak) rather than raw
+// traffic, which mirrors reality: whatever the detector can see in a
+// request, the receiving server sees too.
+package trackerdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"piileak/internal/core"
+	"piileak/internal/httpmodel"
+)
+
+// Visit is one observed page interaction attributed to a profile.
+type Visit struct {
+	// Site is the first party the user was on.
+	Site string
+	// Phase is the flow step observed (signup, signin, subpage, ...).
+	Phase httpmodel.Phase
+	// Context is the browsing context the observation came from
+	// (browser/device), when the feeder supplies one.
+	Context string
+	// Seq orders visits within a context.
+	Seq int
+}
+
+// Profile is the tracker's record for one identifier.
+type Profile struct {
+	// ID is the identifier value as received (e.g. the SHA-256 of the
+	// e-mail address).
+	ID string
+	// Encoding is the identifier's encoding label ("sha256", ...).
+	Encoding string
+	// Params are the identifier parameters the ID arrived in.
+	Params []string
+	// Visits is the accumulated browsing history.
+	Visits []Visit
+	// Sites is the distinct first-party set, sorted.
+	Sites []string
+	// Contexts is the distinct browsing-context set, sorted.
+	Contexts []string
+}
+
+// Server is one tracking provider's profile store.
+type Server struct {
+	// Domain is the provider's registrable domain.
+	Domain string
+
+	profiles map[string]*profileState
+}
+
+type profileState struct {
+	encoding string
+	params   map[string]bool
+	visits   []Visit
+	sites    map[string]bool
+	contexts map[string]bool
+}
+
+// NewServer creates an empty store for a provider.
+func NewServer(domain string) *Server {
+	return &Server{Domain: domain, profiles: map[string]*profileState{}}
+}
+
+// Ingest feeds one detected leak destined to this provider; leaks for
+// other receivers and non-identifier leaks (referer channel) are
+// ignored. context labels the browsing context ("" is fine for a single
+// browser).
+func (s *Server) Ingest(l *core.Leak, context string) {
+	if l.Receiver != s.Domain {
+		return
+	}
+	if l.Param == "" || l.Method == httpmodel.SurfaceReferer {
+		return
+	}
+	st := s.profiles[l.Token.Value]
+	if st == nil {
+		st = &profileState{
+			encoding: l.EncodingLabel(),
+			params:   map[string]bool{},
+			sites:    map[string]bool{},
+			contexts: map[string]bool{},
+		}
+		s.profiles[l.Token.Value] = st
+	}
+	st.params[l.Param] = true
+	st.sites[l.Site] = true
+	if context != "" {
+		st.contexts[context] = true
+	}
+	st.visits = append(st.visits, Visit{
+		Site: l.Site, Phase: l.Phase, Context: context, Seq: l.Seq,
+	})
+}
+
+// IngestAll feeds a batch of leaks from one context.
+func (s *Server) IngestAll(leaks []core.Leak, context string) {
+	for i := range leaks {
+		s.Ingest(&leaks[i], context)
+	}
+}
+
+// Profiles returns the stored profiles, largest history first.
+func (s *Server) Profiles() []Profile {
+	out := make([]Profile, 0, len(s.profiles))
+	for id, st := range s.profiles {
+		p := Profile{
+			ID:       id,
+			Encoding: st.encoding,
+			Params:   sortedKeys(st.params),
+			Visits:   append([]Visit(nil), st.visits...),
+			Sites:    sortedKeys(st.sites),
+			Contexts: sortedKeys(st.contexts),
+		}
+		sort.SliceStable(p.Visits, func(a, b int) bool {
+			if p.Visits[a].Context != p.Visits[b].Context {
+				return p.Visits[a].Context < p.Visits[b].Context
+			}
+			return p.Visits[a].Seq < p.Visits[b].Seq
+		})
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].Sites) != len(out[b].Sites) {
+			return len(out[a].Sites) > len(out[b].Sites)
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// ProfileCount returns the number of distinct identifiers stored.
+func (s *Server) ProfileCount() int { return len(s.profiles) }
+
+// History renders one profile's browsing history as text — what the
+// provider "knows" about the user.
+func (p *Profile) History() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile %s (%s, params %s)\n",
+		truncate(p.ID, 24), p.Encoding, strings.Join(p.Params, "/"))
+	fmt.Fprintf(&b, "  %d sites across %d contexts\n", len(p.Sites), max(1, len(p.Contexts)))
+	for _, v := range p.Visits {
+		ctx := v.Context
+		if ctx == "" {
+			ctx = "-"
+		}
+		fmt.Fprintf(&b, "  %-16s %-10s %s\n", ctx, v.Phase, v.Site)
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

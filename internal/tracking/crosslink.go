@@ -1,0 +1,91 @@
+package tracking
+
+import (
+	"sort"
+
+	"piileak/internal/core"
+)
+
+// This file implements §5.1's presumption as a measurable analysis:
+// because the PII-derived identifier is a function of the *user* rather
+// than of the browser instance, a receiver that obtains the same ID from
+// two different browsing contexts (browsers, devices) can link them —
+// something third-party cookies, which are minted per browser profile,
+// cannot do once blocked or cleared.
+
+// ContextLeaks is the detected leakage of one browsing context.
+type ContextLeaks struct {
+	// Context names the browser/device ("laptop-firefox", ...).
+	Context string
+	// Leaks is the §4 detection output for that context.
+	Leaks []core.Leak
+}
+
+// Linkage is one receiver's ability to join browsing contexts.
+type Linkage struct {
+	// Receiver is the third party holding the identifier.
+	Receiver string
+	// IDValue is the shared PII-derived identifier (token value).
+	IDValue string
+	// Contexts are the linked browsing contexts, sorted.
+	Contexts []string
+	// Sites are the first parties observed across those contexts,
+	// sorted — the browsing history the receiver can merge.
+	Sites []string
+}
+
+// CrossContext finds every receiver that received the same identifiable
+// token value from more than one browsing context. The result is sorted
+// by receiver, then identifier.
+func CrossContext(contexts []ContextLeaks) []Linkage {
+	type key struct {
+		receiver string
+		value    string
+	}
+	ctxs := map[key]map[string]bool{}
+	sites := map[key]map[string]bool{}
+	for _, c := range contexts {
+		for i := range c.Leaks {
+			l := &c.Leaks[i]
+			if !identifiable(l) {
+				continue
+			}
+			k := key{l.Receiver, l.Token.Value}
+			if ctxs[k] == nil {
+				ctxs[k] = map[string]bool{}
+				sites[k] = map[string]bool{}
+			}
+			ctxs[k][c.Context] = true
+			sites[k][l.Site] = true
+		}
+	}
+	var out []Linkage
+	for k, cs := range ctxs {
+		if len(cs) < 2 {
+			continue
+		}
+		out = append(out, Linkage{
+			Receiver: k.receiver,
+			IDValue:  k.value,
+			Contexts: sortedSet(cs),
+			Sites:    sortedSet(sites[k]),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Receiver != out[b].Receiver {
+			return out[a].Receiver < out[b].Receiver
+		}
+		return out[a].IDValue < out[b].IDValue
+	})
+	return out
+}
+
+// LinkingReceivers reduces CrossContext output to the distinct receivers
+// able to join contexts, sorted.
+func LinkingReceivers(links []Linkage) []string {
+	set := map[string]bool{}
+	for _, l := range links {
+		set[l.Receiver] = true
+	}
+	return sortedSet(set)
+}

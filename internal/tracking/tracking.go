@@ -1,0 +1,259 @@
+// Package tracking implements §5's persistent-tracking analysis: mining
+// PII identifier parameters (trackids) from detected leaks, checking the
+// cross-site cue (the same ID parameter fed by more than one sender) and
+// the persistence cue (the ID re-appears on first-party subpages), and
+// classifying third-party receivers as PII-leakage-based tracking
+// providers (Table 2).
+package tracking
+
+import (
+	"sort"
+	"strings"
+
+	"piileak/internal/core"
+	"piileak/internal/httpmodel"
+	"piileak/internal/pii"
+)
+
+// Row is one behaviour row of a provider in Table 2: the senders using
+// one encoding form, with the methods and identifier parameters seen.
+type Row struct {
+	Senders  int
+	Methods  []string // e.g. ["URI", "Payload"]
+	Encoding string   // Table 1b vocabulary
+	Params   []string // identifier parameter names
+}
+
+// Provider is one classified receiver.
+type Provider struct {
+	// Receiver is the registrable domain (after uncloaking).
+	Receiver string
+	// Cloaked marks CNAME-cloaked deployments (reported with the
+	// paper's "_cname" suffix).
+	Cloaked bool
+	// Senders is the count of distinct senders feeding identifier
+	// parameters.
+	Senders int
+	// MultiSenderID holds §5.2's cross-site cue: some identifier
+	// parameter receives the same PII-derived ID from ≥ 2 senders.
+	MultiSenderID bool
+	// Persistent holds §5.2's storage cue: the identifier also appears
+	// on sender subpages.
+	Persistent bool
+	// Rows is the Table 2 breakdown by encoding form.
+	Rows []Row
+}
+
+// IsTracker reports the §5.2 classification: a tracking provider shows
+// both the cross-site and the persistence cue.
+func (p *Provider) IsTracker() bool { return p.MultiSenderID && p.Persistent }
+
+// Display renders the receiver name, marking cloaked deployments the way
+// the paper does ("adobe_cname").
+func (p *Provider) Display() string {
+	if !p.Cloaked {
+		return p.Receiver
+	}
+	base := p.Receiver
+	if i := strings.IndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	if base == "omtrdc" {
+		base = "adobe"
+	}
+	return base + "_cname"
+}
+
+// Classification is the full §5.2 census.
+type Classification struct {
+	// Providers holds every receiver, most senders first.
+	Providers []Provider
+	// Trackers is the Table 2 subset (cross-site + persistent).
+	Trackers []Provider
+	// MultiSenderID counts receivers with the cross-site cue (the
+	// paper's 34).
+	MultiSenderID int
+	// MultiSender counts receivers fed by ≥ 2 senders regardless of
+	// parameter consistency.
+	MultiSender int
+	// SingleSender counts receivers seen with exactly one sender (the
+	// paper's 58 possibly-missed trackers).
+	SingleSender int
+}
+
+// identifiable reports whether a leak can serve as a stored identifier:
+// it rode in a named parameter, body field or cookie.
+func identifiable(l *core.Leak) bool {
+	return l.Param != "" && l.Method != httpmodel.SurfaceReferer
+}
+
+// Classify runs the §5.2 analysis over detected leaks.
+func Classify(leaks []core.Leak) *Classification {
+	type provKey struct {
+		receiver string
+		cloaked  bool
+	}
+	byProv := map[provKey][]core.Leak{}
+	for _, l := range leaks {
+		k := provKey{l.Receiver, l.Cloaked}
+		byProv[k] = append(byProv[k], l)
+	}
+	keys := make([]provKey, 0, len(byProv))
+	for k := range byProv {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].receiver < keys[b].receiver })
+
+	c := &Classification{}
+	for _, k := range keys {
+		ls := byProv[k]
+		p := buildProvider(k.receiver, k.cloaked, ls)
+
+		senders := map[string]bool{}
+		for _, l := range ls {
+			senders[l.Site] = true
+		}
+		if len(senders) >= 2 {
+			c.MultiSender++
+		} else {
+			c.SingleSender++
+		}
+		if p.MultiSenderID {
+			c.MultiSenderID++
+		}
+		c.Providers = append(c.Providers, p)
+		if p.IsTracker() {
+			c.Trackers = append(c.Trackers, p)
+		}
+	}
+	sort.SliceStable(c.Providers, func(a, b int) bool {
+		if c.Providers[a].Senders != c.Providers[b].Senders {
+			return c.Providers[a].Senders > c.Providers[b].Senders
+		}
+		return c.Providers[a].Receiver < c.Providers[b].Receiver
+	})
+	sort.SliceStable(c.Trackers, func(a, b int) bool {
+		if c.Trackers[a].Senders != c.Trackers[b].Senders {
+			return c.Trackers[a].Senders > c.Trackers[b].Senders
+		}
+		return c.Trackers[a].Receiver < c.Trackers[b].Receiver
+	})
+	return c
+}
+
+func buildProvider(receiver string, cloaked bool, ls []core.Leak) Provider {
+	p := Provider{Receiver: receiver, Cloaked: cloaked}
+
+	// Cross-site cue (§5.2): the receiver gets the *same ID* — the
+	// same PII-derived token value — from at least two senders. The
+	// persona is one user, so equal encodings yield equal IDs across
+	// sites; receivers whose senders use different encodings (or no
+	// identifier parameter at all) fail the cue.
+	valueSenders := map[string]map[string]bool{} // token value -> senders
+	senders := map[string]bool{}
+	for i := range ls {
+		l := &ls[i]
+		if !identifiable(l) {
+			continue
+		}
+		senders[l.Site] = true
+		if valueSenders[l.Token.Value] == nil {
+			valueSenders[l.Token.Value] = map[string]bool{}
+		}
+		valueSenders[l.Token.Value][l.Site] = true
+	}
+	p.Senders = len(senders)
+	for _, ss := range valueSenders {
+		if len(ss) >= 2 {
+			p.MultiSenderID = true
+			break
+		}
+	}
+
+	// Persistence cue: identifier leaks on subpages.
+	for i := range ls {
+		l := &ls[i]
+		if identifiable(l) && l.Phase == httpmodel.PhaseSubpage {
+			p.Persistent = true
+			break
+		}
+	}
+
+	// Table 2 rows: group identifier leaks by encoding form.
+	type agg struct {
+		senders map[string]bool
+		methods map[string]bool
+		params  map[string]bool
+	}
+	rows := map[string]*agg{}
+	for i := range ls {
+		l := &ls[i]
+		if !identifiable(l) {
+			continue
+		}
+		lab := l.EncodingLabel()
+		a := rows[lab]
+		if a == nil {
+			a = &agg{senders: map[string]bool{}, methods: map[string]bool{}, params: map[string]bool{}}
+			rows[lab] = a
+		}
+		a.senders[l.Site] = true
+		a.methods[methodName(l.Method)] = true
+		a.params[l.Param] = true
+	}
+	for lab, a := range rows {
+		p.Rows = append(p.Rows, Row{
+			Senders:  len(a.senders),
+			Methods:  sortedSet(a.methods),
+			Encoding: lab,
+			Params:   sortedSet(a.params),
+		})
+	}
+	sort.Slice(p.Rows, func(a, b int) bool {
+		if p.Rows[a].Senders != p.Rows[b].Senders {
+			return p.Rows[a].Senders > p.Rows[b].Senders
+		}
+		return p.Rows[a].Encoding < p.Rows[b].Encoding
+	})
+	return p
+}
+
+func methodName(m httpmodel.SurfaceKind) string {
+	switch m {
+	case httpmodel.SurfaceURI:
+		return "URI"
+	case httpmodel.SurfaceBody:
+		return "Payload"
+	case httpmodel.SurfaceCookie:
+		return "Cookie"
+	case httpmodel.SurfaceReferer:
+		return "Referer"
+	}
+	return string(m)
+}
+
+func sortedSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PIITypes returns the distinct PII types a tracker receives (the
+// paper's observation that all 20 use the email address).
+func PIITypes(leaks []core.Leak, receiver string) []pii.Type {
+	set := map[pii.Type]bool{}
+	for _, l := range leaks {
+		if l.Receiver == receiver && identifiable(&l) {
+			set[l.Token.Field.Type] = true
+		}
+	}
+	out := make([]pii.Type, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

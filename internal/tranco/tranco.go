@@ -1,0 +1,125 @@
+// Package tranco generates the deterministic ranked site list standing in
+// for the real Tranco top list plus the FortiGuard category feed (§3.2).
+//
+// The real study took the Tranco top 10,000, classified sites with
+// FortiGuard Web Filtering, and kept the 404 shopping sites. This
+// substitute reproduces that selection pipeline over synthetic domains:
+// ranks, weighted TLDs, category labels with a fixed shopping quota, and
+// rank-ordered selection.
+package tranco
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Entry is one ranked, categorized site.
+type Entry struct {
+	Rank     int    `json:"rank"`
+	Domain   string `json:"domain"`
+	Category string `json:"category"`
+}
+
+// List is a generated ranking.
+type List struct {
+	Entries []Entry
+}
+
+// Categories in the synthetic FortiGuard-style feed.
+var Categories = []string{
+	"shopping", "news", "social", "technology", "finance",
+	"entertainment", "education", "travel", "health", "sports",
+	"business", "reference",
+}
+
+// CategoryShopping is the category the study selects (§3.2).
+const CategoryShopping = "shopping"
+
+var namePrefixes = []string{
+	"urban", "nova", "prime", "zen", "blue", "swift", "lumen", "terra",
+	"alto", "vista", "echo", "polar", "cedar", "ember", "flux", "haven",
+	"iris", "koi", "lotus", "mira", "nimbus", "opal", "pixel", "quartz",
+	"rivet", "sol", "tidal", "umber", "vela", "willow", "xenon", "yonder",
+	"zephyr", "aster", "brio", "coral", "drift", "eden", "fable", "grove",
+}
+
+var nameSuffixes = []string{
+	"market", "store", "mart", "goods", "hub", "base", "port", "works",
+	"lane", "cart", "deal", "trade", "supply", "forge", "nest", "loop",
+	"press", "wire", "beam", "stack", "dock", "field", "point", "crest",
+	"mill", "path", "gate", "yard", "bay", "ridge", "peak", "cove",
+	"bloom", "craft", "den", "edge", "flow", "glen", "isle", "junction",
+}
+
+var tlds = []string{
+	"com", "com", "com", "com", "com", "net", "org", "shop", "store",
+	"co.jp", "co.uk", "com.au", "io", "co", "jp", "de", "fr",
+}
+
+// Generate builds a deterministic top-n list for the given seed. Exactly
+// shoppingQuota entries in the list carry the shopping category, spread
+// across ranks the way a real category feed would be (rank-independent).
+func Generate(seed uint64, n, shoppingQuota int) *List {
+	if shoppingQuota > n {
+		panic("tranco: shopping quota exceeds list size")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x7261636f)) // "raco"
+
+	entries := make([]Entry, n)
+	seen := make(map[string]bool, n)
+	for i := range entries {
+		var domain string
+		for attempt := 0; ; attempt++ {
+			p := namePrefixes[rng.IntN(len(namePrefixes))]
+			s := nameSuffixes[rng.IntN(len(nameSuffixes))]
+			tld := tlds[rng.IntN(len(tlds))]
+			domain = p + s + "." + tld
+			if attempt > 2 {
+				domain = fmt.Sprintf("%s%s%d.%s", p, s, rng.IntN(90)+10, tld)
+			}
+			if !seen[domain] {
+				break
+			}
+		}
+		seen[domain] = true
+		entries[i] = Entry{Rank: i + 1, Domain: domain}
+	}
+
+	// Category assignment: pick shoppingQuota distinct positions for
+	// shopping, everything else gets a weighted non-shopping category.
+	perm := rng.Perm(n)
+	for _, idx := range perm[:shoppingQuota] {
+		entries[idx].Category = CategoryShopping
+	}
+	others := Categories[1:]
+	for i := range entries {
+		if entries[i].Category == "" {
+			entries[i].Category = others[rng.IntN(len(others))]
+		}
+	}
+	return &List{Entries: entries}
+}
+
+// Shopping returns the shopping-category entries in rank order.
+func (l *List) Shopping() []Entry {
+	var out []Entry
+	for _, e := range l.Entries {
+		if e.Category == CategoryShopping {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Category returns the category of a domain, or "" if unknown.
+func (l *List) Category(domain string) string {
+	for _, e := range l.Entries {
+		if e.Domain == domain {
+			return e.Category
+		}
+	}
+	return ""
+}
+
+// Len returns the list size.
+func (l *List) Len() int { return len(l.Entries) }

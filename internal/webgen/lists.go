@@ -1,0 +1,62 @@
+package webgen
+
+import "strings"
+
+// buildBlocklists renders the synthetic EasyList and EasyPrivacy texts
+// from the catalog coverage flags, and the Brave shields domain set.
+//
+// The rule *corpus* is synthetic (the real lists are not available
+// offline), but the rule *families* match the real lists' structure:
+// per-domain `||domain^$third-party` network rules, Adobe's cloaking-
+// resistant path rule (`/b/ss/`), ad-path rules, cosmetic rules the
+// engine must skip, and exception rules.
+func (e *Ecosystem) buildBlocklists() {
+	var ep strings.Builder
+	ep.WriteString("[Adblock Plus 2.0]\n")
+	ep.WriteString("! Title: EasyPrivacy (synthetic reproduction corpus)\n")
+	ep.WriteString("! Tracking-protection supplementary list\n")
+	for i := range e.Providers {
+		p := &e.Providers[i]
+		if !p.EasyPrivacy {
+			continue
+		}
+		if p.Cloaked {
+			// The real EasyPrivacy catches CNAME-cloaked Adobe
+			// Analytics via its request path, not its (first-party)
+			// host.
+			ep.WriteString("/b/ss/\n")
+			ep.WriteString("||" + p.Domain + "^\n")
+			continue
+		}
+		ep.WriteString("||" + p.Domain + "^$third-party\n")
+	}
+	// Generic tracking-path rules present in the real list; decoys for
+	// our traffic except where hosts embed matching paths.
+	ep.WriteString("/tracker/pixel.\n")
+	ep.WriteString("||stats-collector.example^$third-party\n")
+	e.EasyPrivacyText = ep.String()
+
+	var el strings.Builder
+	el.WriteString("[Adblock Plus 2.0]\n")
+	el.WriteString("! Title: EasyList (synthetic reproduction corpus)\n")
+	for i := range e.Providers {
+		p := &e.Providers[i]
+		if !p.EasyList {
+			continue
+		}
+		el.WriteString("||" + p.Domain + "^$third-party\n")
+	}
+	// Ad-path rules and cosmetic filters (the engine skips cosmetics).
+	el.WriteString("/banner-ads/\n")
+	el.WriteString("/adframe.\n")
+	el.WriteString("example.com##.ad-slot\n")
+	el.WriteString("@@||webfonts-host.org^$stylesheet\n")
+	e.EasyListText = el.String()
+
+	e.BraveShields = map[string]bool{}
+	for i := range e.Providers {
+		if e.Providers[i].BraveBlocked {
+			e.BraveShields[e.Providers[i].Domain] = true
+		}
+	}
+}

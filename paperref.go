@@ -1,0 +1,149 @@
+package piileak
+
+// PaperRef holds the published values every experiment compares against.
+// Source: Dao & Fukuda, CoNEXT 2021, sections 3-7.
+type PaperRef struct {
+	// §3.2 funnel.
+	CandidateSites int
+	Unreachable    int
+	NoAuthFlow     int
+	SignupBlocked  int // 47 phone + 6 ID + 3 region
+	CrawledSites   int
+	EmailConfirm   int
+	BotDetection   int
+
+	// §4.2 headline.
+	Senders            int
+	SenderPct          float64
+	Receivers          int
+	LeakyRequests      int
+	MeanReceivers      float64
+	SendersAtLeast3Pct float64
+	MaxReceivers       int
+
+	// Table 1a: senders / receivers by method.
+	MethodSenders   map[string]int
+	MethodReceivers map[string]int
+
+	// Table 1b: senders / receivers by encoding.
+	EncodingSenders   map[string]int
+	EncodingReceivers map[string]int
+
+	// Table 1c: senders / receivers by PII type set.
+	PIISenders   map[string]int
+	PIIReceivers map[string]int
+
+	// Figure 2.
+	FacebookSenderPct float64
+
+	// §5.2.
+	TrackingProviders     int
+	MultiSenderReceivers  int // "same ID from more than one sender"
+	SingleSenderReceivers int
+	// Table2Senders is the per-provider sender count (summing the
+	// paper's per-encoding rows).
+	Table2Senders map[string]int
+
+	// §4.2.3 mailbox.
+	InboxMails int
+	SpamMails  int
+
+	// Table 3.
+	PolicyNotSpecific   int
+	PolicySpecific      int
+	PolicyNoDescription int
+	PolicyExplicitNot   int
+
+	// §7.1.
+	BraveSenderReductionPct   float64
+	BraveReceiverReductionPct float64
+	BraveMissedReceivers      int
+	BraveSignupFailures       int
+
+	// §7.2, Table 4 totals.
+	EasyListSendersTotal      int
+	EasyPrivacySendersTotal   int
+	CombinedSendersTotal      int
+	EasyListReceiversTotal    int
+	EasyPrivacyReceiversTotal int
+	CombinedReceiversTotal    int
+	MissedTrackerDomains      []string
+}
+
+// Paper is the reference instance.
+var Paper = PaperRef{
+	CandidateSites: 404,
+	Unreachable:    22,
+	NoAuthFlow:     19,
+	SignupBlocked:  56,
+	CrawledSites:   307,
+	EmailConfirm:   68,
+	BotDetection:   43,
+
+	Senders:            130,
+	SenderPct:          42.3,
+	Receivers:          100,
+	LeakyRequests:      1522,
+	MeanReceivers:      2.97,
+	SendersAtLeast3Pct: 46.15,
+	MaxReceivers:       16,
+
+	MethodSenders: map[string]int{
+		"referer header": 3, "uri": 118, "payload body": 43, "cookie": 5, "combined": 27,
+	},
+	MethodReceivers: map[string]int{
+		"referer header": 7, "uri": 78, "payload body": 17, "cookie": 1, "combined": 8,
+	},
+
+	EncodingSenders: map[string]int{
+		"plaintext": 42, "base64": 19, "md5": 35, "sha1": 9,
+		"sha256": 91, "sha256ofmd5": 2, "combined": 21,
+	},
+	EncodingReceivers: map[string]int{
+		"plaintext": 56, "base64": 20, "md5": 24, "sha1": 6,
+		"sha256": 30, "sha256ofmd5": 1, "combined": 14,
+	},
+
+	PIISenders: map[string]int{
+		"email": 116, "username": 1, "email,username": 3, "email,name": 29,
+	},
+	PIIReceivers: map[string]int{
+		"email": 94, "username": 1, "email,username": 6, "email,name": 12,
+	},
+
+	FacebookSenderPct: 60.0,
+
+	TrackingProviders:     20,
+	MultiSenderReceivers:  34,
+	SingleSenderReceivers: 58,
+	Table2Senders: map[string]int{
+		"facebook.com": 74, "criteo.com": 37, "pinterest.com": 33,
+		"snapchat.com": 20, "cquotient.com": 7, "bluecore.com": 5,
+		"klaviyo.com": 4, "oracleinfinity.io": 4, "rlcdn.com": 4,
+		"omtrdc.net": 3, "castle.io": 2, "custora.com": 2,
+		"dotomi.com": 2, "inside-graph.com": 2, "krxd.net": 2,
+		"pxf.io": 2, "taboola.com": 2, "thebrighttag.com": 2,
+		"yahoo.com": 2, "zendesk.com": 2,
+	},
+
+	InboxMails: 2172,
+	SpamMails:  141,
+
+	PolicyNotSpecific:   102,
+	PolicySpecific:      9,
+	PolicyNoDescription: 15,
+	PolicyExplicitNot:   4,
+
+	BraveSenderReductionPct:   93.1,
+	BraveReceiverReductionPct: 92.0,
+	BraveMissedReceivers:      8,
+	BraveSignupFailures:       1,
+
+	EasyListSendersTotal:      1,
+	EasyPrivacySendersTotal:   95,
+	CombinedSendersTotal:      102,
+	EasyListReceiversTotal:    8,
+	EasyPrivacyReceiversTotal: 65,
+	CombinedReceiversTotal:    72,
+	MissedTrackerDomains:      []string{"custora.com", "taboola.com", "zendesk.com"},
+}

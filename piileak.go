@@ -1,0 +1,196 @@
+// Package piileak reproduces the CoNEXT 2021 study "Alternative to
+// third-party cookies: Investigating persistent PII leakage-based web
+// tracking" (Dao & Fukuda) as a runnable system: a calibrated synthetic
+// web of shopping sites and trackers, the §3.2 crawl, the §4 leak
+// detection pipeline, the §5 persistent-tracking classification, the §6
+// policy audit and the §7 countermeasure evaluations.
+//
+// Quick start:
+//
+//	study, err := piileak.NewStudy(piileak.DefaultConfig())
+//	if err != nil { ... }
+//	if err := study.Run(); err != nil { ... }
+//	fmt.Println(report of study.Analysis.Headline())
+//
+// Every experiment from the paper's evaluation is registered in
+// Experiments(); cmd/piirepro runs them all.
+package piileak
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"piileak/internal/browser"
+	"piileak/internal/core"
+	"piileak/internal/countermeasure"
+	"piileak/internal/crawler"
+	"piileak/internal/dnssim"
+	"piileak/internal/pii"
+	"piileak/internal/policy"
+	"piileak/internal/site"
+	"piileak/internal/tracking"
+	"piileak/internal/webgen"
+)
+
+// Config configures a study run.
+type Config struct {
+	// Ecosystem parameterizes the synthetic web (webgen.DefaultConfig
+	// reproduces the paper's population).
+	Ecosystem webgen.Config
+	// CandidateDepth is the transform-chain depth of the detection
+	// candidate set (§3.1; default 2, covering every chain in the
+	// paper's Table 2).
+	CandidateDepth int
+	// Browser is the collection profile (§3.2 used vanilla Firefox 88).
+	Browser browser.Profile
+	// Workers > 0 crawls with that many parallel workers (results are
+	// identical to the serial crawl); 0 keeps the serial crawler.
+	Workers int
+}
+
+// DefaultConfig reproduces the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		Ecosystem:      webgen.DefaultConfig(),
+		CandidateDepth: 2,
+		Browser:        browser.Firefox88(),
+	}
+}
+
+// SmallConfig is a scaled-down configuration for examples and quick
+// experimentation.
+func SmallConfig(seed uint64) Config {
+	return Config{
+		Ecosystem:      webgen.SmallConfig(seed),
+		CandidateDepth: 2,
+		Browser:        browser.Firefox88(),
+	}
+}
+
+// Study is one full reproduction run.
+type Study struct {
+	Config Config
+
+	// Eco is the generated synthetic web.
+	Eco *webgen.Ecosystem
+	// Candidates is the persona's compiled token set.
+	Candidates *pii.CandidateSet
+	// Detector is the §4.1 leak detector.
+	Detector *core.Detector
+
+	// Dataset, Leaks and Analysis are populated by Run.
+	Dataset  *crawler.Dataset
+	Leaks    []core.Leak
+	Analysis *core.Analysis
+}
+
+// NewStudy generates the ecosystem and builds the detection machinery.
+func NewStudy(cfg Config) (*Study, error) {
+	if cfg.CandidateDepth == 0 {
+		cfg.CandidateDepth = 2
+	}
+	if cfg.Browser.Name == "" {
+		cfg.Browser = browser.Firefox88()
+	}
+	eco, err := webgen.Generate(cfg.Ecosystem)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := pii.BuildCandidates(eco.Persona, pii.CandidateConfig{MaxDepth: cfg.CandidateDepth})
+	if err != nil {
+		return nil, err
+	}
+	return &Study{
+		Config:     cfg,
+		Eco:        eco,
+		Candidates: cs,
+		Detector:   core.NewDetector(cs, dnssim.NewClassifier(eco.Zone)),
+	}, nil
+}
+
+// Run executes the §3.2 crawl and the §4 detection over every candidate
+// site, populating Dataset, Leaks and Analysis.
+func (s *Study) Run() error {
+	if s.Config.Workers > 0 {
+		s.Dataset = crawler.CrawlParallel(s.Eco, s.Config.Browser, s.Config.Workers)
+	} else {
+		s.Dataset = crawler.Crawl(s.Eco, s.Config.Browser)
+	}
+	s.Leaks = nil
+	for _, c := range s.Dataset.Successes() {
+		s.Leaks = append(s.Leaks, s.Detector.DetectSite(c.Domain, c.Records)...)
+	}
+	s.Analysis = core.Analyze(s.Leaks, len(s.Dataset.Successes()))
+	return nil
+}
+
+// mustRun guards accessors that need Run's outputs.
+func (s *Study) mustRun() error {
+	if s.Analysis == nil {
+		return fmt.Errorf("piileak: Run the study first")
+	}
+	return nil
+}
+
+// Tracking runs the §5.2 persistent-tracking classification.
+func (s *Study) Tracking() (*tracking.Classification, error) {
+	if err := s.mustRun(); err != nil {
+		return nil, err
+	}
+	return tracking.Classify(s.Leaks), nil
+}
+
+// PolicyAudit runs the §6 disclosure audit over the detected senders.
+func (s *Study) PolicyAudit() (policy.Table3, error) {
+	if err := s.mustRun(); err != nil {
+		return policy.Table3{}, err
+	}
+	senders := map[string]bool{}
+	for _, l := range s.Leaks {
+		senders[l.Site] = true
+	}
+	var out []*site.Site
+	for _, st := range s.Eco.Sites {
+		if senders[st.Domain] {
+			out = append(out, st)
+		}
+	}
+	return policy.Audit(out), nil
+}
+
+// EvaluateBrowsers runs the §7.1 browser comparison.
+func (s *Study) EvaluateBrowsers() []countermeasure.BrowserResult {
+	return countermeasure.EvaluateBrowsers(s.Eco, s.Config.Browser, countermeasure.Profiles(s.Eco))
+}
+
+// EvaluateBlocklists runs the §7.2 filter-list evaluation.
+func (s *Study) EvaluateBlocklists() (*countermeasure.Table4, error) {
+	if err := s.mustRun(); err != nil {
+		return nil, err
+	}
+	lists, err := countermeasure.ParseLists(s.Eco.EasyListText, s.Eco.EasyPrivacyText)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := s.Tracking()
+	if err != nil {
+		return nil, err
+	}
+	var trackers []string
+	for _, tr := range cls.Trackers {
+		trackers = append(trackers, tr.Receiver)
+	}
+	return countermeasure.EvaluateBlocklists(s.Leaks, s.Dataset, lists, trackers), nil
+}
+
+// WriteLeaksJSON exports the detected leak records as indented JSON for
+// external analysis (spreadsheets, notebooks, diffing runs).
+func (s *Study) WriteLeaksJSON(w io.Writer) error {
+	if err := s.mustRun(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s.Leaks)
+}

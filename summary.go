@@ -1,0 +1,144 @@
+package piileak
+
+import (
+	"encoding/json"
+	"io"
+
+	"piileak/internal/core"
+	"piileak/internal/countermeasure"
+	"piileak/internal/policy"
+	"piileak/internal/tracking"
+)
+
+// Summary is the machine-readable result of a study run: every quantity
+// the text experiments print, as one JSON-serializable document, for
+// downstream tooling (plotting, regression tracking, dashboards).
+type Summary struct {
+	Seed    uint64 `json:"seed"`
+	Browser string `json:"browser"`
+
+	// Funnel maps crawl outcomes to counts (E0).
+	Funnel map[string]int `json:"funnel"`
+
+	// Headline carries the §4.2 statistics (E1).
+	Headline core.Headline `json:"headline"`
+
+	// Methods, Encodings and PIITypes are the Table 1 panels (E2-E4).
+	Methods   []core.BreakdownRow `json:"methods"`
+	Encodings []core.BreakdownRow `json:"encodings"`
+	PIITypes  []core.BreakdownRow `json:"pii_types"`
+
+	// TopReceivers is Figure 2 (E5).
+	TopReceivers []core.ReceiverRank `json:"top_receivers"`
+
+	// Trackers is Table 2 (E6); Census carries the §5.2 partition.
+	Trackers []tracking.Provider `json:"trackers"`
+	Census   TrackerCensus       `json:"census"`
+
+	// Mail is §4.2.3 (E7).
+	Mail MailSummary `json:"mail"`
+
+	// Policy is Table 3 (E8).
+	Policy policy.Table3 `json:"policy"`
+
+	// Browsers is §7.1 (E9).
+	Browsers []countermeasure.BrowserResult `json:"browsers"`
+
+	// Blocklists is Table 4 (E10).
+	Blocklists []countermeasure.Table4Row `json:"blocklists"`
+	// MissedTrackers are the Table 2 providers the combined lists
+	// fail to cover.
+	MissedTrackers []string `json:"missed_trackers"`
+}
+
+// TrackerCensus is the §5.2 receiver partition.
+type TrackerCensus struct {
+	Trackers      int `json:"tracking_providers"`
+	MultiSenderID int `json:"same_id_multi_sender_receivers"`
+	MultiSender   int `json:"multi_sender_receivers"`
+	SingleSender  int `json:"single_sender_receivers"`
+}
+
+// MailSummary is the §4.2.3 result.
+type MailSummary struct {
+	Inbox         int      `json:"inbox"`
+	Spam          int      `json:"spam"`
+	FromReceivers []string `json:"from_receivers,omitempty"`
+}
+
+// Summary assembles the machine-readable result. The study must have
+// Run; the browser and blocklist evaluations execute as part of the
+// call.
+func (s *Study) Summary() (*Summary, error) {
+	if err := s.mustRun(); err != nil {
+		return nil, err
+	}
+	cls, err := s.Tracking()
+	if err != nil {
+		return nil, err
+	}
+	t3, err := s.PolicyAudit()
+	if err != nil {
+		return nil, err
+	}
+	t4, err := s.EvaluateBlocklists()
+	if err != nil {
+		return nil, err
+	}
+
+	funnel := map[string]int{}
+	for outcome, n := range s.Dataset.FunnelCounts() {
+		funnel[string(outcome)] = n
+	}
+	receivers := map[string]bool{}
+	for _, r := range s.Analysis.Receivers {
+		receivers[r] = true
+	}
+
+	return &Summary{
+		Seed:         s.Config.Ecosystem.Seed,
+		Browser:      s.Dataset.Browser,
+		Funnel:       funnel,
+		Headline:     s.Analysis.Headline(),
+		Methods:      s.Analysis.ByMethod(),
+		Encodings:    s.Analysis.ByEncoding(),
+		PIITypes:     s.Analysis.ByPIIType(),
+		TopReceivers: s.Analysis.TopReceivers(15),
+		Trackers:     cls.Trackers,
+		Census: TrackerCensus{
+			Trackers:      len(cls.Trackers),
+			MultiSenderID: cls.MultiSenderID,
+			MultiSender:   cls.MultiSender,
+			SingleSender:  cls.SingleSender,
+		},
+		Mail: MailSummary{
+			Inbox:         s.Dataset.Mailbox.Count("inbox"),
+			Spam:          s.Dataset.Mailbox.Count("spam"),
+			FromReceivers: s.Dataset.Mailbox.FromAny(receivers),
+		},
+		Policy:         t3,
+		Browsers:       s.EvaluateBrowsers(),
+		Blocklists:     t4.Rows,
+		MissedTrackers: t4.MissedTrackers,
+	}, nil
+}
+
+// WriteSummaryJSON renders the summary as indented JSON.
+func (s *Study) WriteSummaryJSON(w io.Writer) error {
+	sum, err := s.Summary()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sum)
+}
+
+// ReadSummaryJSON loads a summary written by WriteSummaryJSON.
+func ReadSummaryJSON(r io.Reader) (*Summary, error) {
+	var sum Summary
+	if err := json.NewDecoder(r).Decode(&sum); err != nil {
+		return nil, err
+	}
+	return &sum, nil
+}
