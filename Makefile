@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test vet race bench fuzz check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# Short fuzz smoke for the dataset decoder hardening.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime 10s ./internal/crawler/
+
+# The gate every change must pass.
+check: vet build race

@@ -4,7 +4,17 @@
 //
 // Usage:
 //
-//	piicrawl [-seed N] [-small] [-browser firefox|chrome|brave] [-o dataset.json] [-funnel]
+//	piicrawl [-seed N] [-small] [-browser firefox|chrome|brave] [-o dataset.json]
+//	         [-workers N] [-funnel]
+//	         [-faults RATE] [-fault-seed N] [-retries N]
+//	         [-checkpoint file] [-resume]
+//
+// -faults opts the substrate into deterministic fault injection (a
+// fraction RATE of hosts become flaky, degrading or dead) and the crawl
+// into the resilient runtime: retries with backoff, per-host circuit
+// breakers, and partial records instead of dropped sites. -checkpoint
+// persists per-site progress; -resume continues a killed run from that
+// file, producing the same dataset an uninterrupted run would have.
 package main
 
 import (
@@ -14,6 +24,8 @@ import (
 
 	"piileak/internal/browser"
 	"piileak/internal/crawler"
+	"piileak/internal/faultsim"
+	"piileak/internal/resilience"
 	"piileak/internal/webgen"
 )
 
@@ -23,6 +35,12 @@ func main() {
 	browserName := flag.String("browser", "firefox", "collection browser: firefox, chrome, opera, safari, firefox-etp, brave")
 	out := flag.String("o", "", "output dataset path (default stdout)")
 	funnel := flag.Bool("funnel", false, "print the §3.2 funnel summary to stderr")
+	workers := flag.Int("workers", 0, "parallel crawl workers (0 = serial)")
+	faults := flag.Float64("faults", 0, "fraction of hosts made faulty (0 disables fault injection)")
+	faultSeed := flag.Uint64("fault-seed", 0, "fault-injection seed (default: the ecosystem seed)")
+	retries := flag.Int("retries", 0, "max fetch attempts per request under faults (default 4)")
+	checkpoint := flag.String("checkpoint", "", "write per-site progress to this file")
+	resume := flag.Bool("resume", false, "resume a previous run from -checkpoint")
 	flag.Parse()
 
 	cfg := webgen.DefaultConfig()
@@ -30,6 +48,15 @@ func main() {
 		cfg = webgen.SmallConfig(*seed)
 	}
 	cfg.Seed = *seed
+	if *faults < 0 || *faults > 1 {
+		fatal(fmt.Errorf("-faults %v out of range [0, 1]", *faults))
+	}
+	if *faults > 0 {
+		cfg.Faults = &faultsim.Config{Seed: *faultSeed, Rate: *faults}
+	}
+	if *resume && *checkpoint == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
 
 	eco, err := webgen.Generate(cfg)
 	if err != nil {
@@ -54,15 +81,34 @@ func main() {
 		fatal(fmt.Errorf("unknown browser %q", *browserName))
 	}
 
-	ds := crawler.Crawl(eco, profile)
+	ds, err := crawler.CrawlOpts(eco, profile, crawler.Options{
+		Workers:        *workers,
+		Policy:         resilience.Policy{MaxAttempts: *retries},
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+	})
+	if err != nil {
+		fatal(err)
+	}
 
 	if *funnel {
 		counts := ds.FunnelCounts()
-		fmt.Fprintf(os.Stderr, "sites: %d  success: %d  unreachable: %d  no-auth: %d  signup-blocked: %d  captcha: %d\n",
+		fmt.Fprintf(os.Stderr, "sites: %d  success: %d  unreachable: %d  no-auth: %d  signup-blocked: %d  captcha: %d  partial: %d\n",
 			len(ds.Crawls), counts[crawler.OutcomeSuccess], counts[crawler.OutcomeUnreachable],
-			counts[crawler.OutcomeNoAuthFlow], counts[crawler.OutcomeSignupBlocked], counts[crawler.OutcomeCaptcha])
+			counts[crawler.OutcomeNoAuthFlow], counts[crawler.OutcomeSignupBlocked],
+			counts[crawler.OutcomeCaptcha], counts[crawler.OutcomePartial])
 		fmt.Fprintf(os.Stderr, "records: %d  inbox mails: %d  spam mails: %d\n",
 			ds.TotalRecords(), ds.Mailbox.Count("inbox"), ds.Mailbox.Count("spam"))
+		if *faults > 0 {
+			attempts, retried, failed := 0, 0, 0
+			for _, c := range ds.Crawls {
+				attempts += c.Attempts
+				retried += c.Retries
+				failed += c.FailedFetches
+			}
+			fmt.Fprintf(os.Stderr, "fetch attempts: %d  retries: %d  failed fetches: %d\n",
+				attempts, retried, failed)
+		}
 	}
 
 	if *out != "" {

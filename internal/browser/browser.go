@@ -78,17 +78,33 @@ func Brave129(shields map[string]bool) Profile {
 	}
 }
 
+// Transport models the network path of a fetch. A nil Transport (the
+// default) always succeeds instantly — the fault-free simulation. The
+// crawler installs a resilient transport (retry + backoff + circuit
+// breaker over injected faults); an error from Fetch means the request
+// definitively failed after whatever retrying the transport did.
+type Transport interface {
+	Fetch(host string) error
+}
+
 // Browser is one browsing session: a profile plus cookie jar and the
 // captured traffic.
 type Browser struct {
 	Profile    Profile
 	Classifier *dnssim.Classifier
 
+	// Transport, when non-nil, gates every request on a (possibly
+	// faulty) network path.
+	Transport Transport
+
 	// Records is the captured traffic, in request order.
 	Records []httpmodel.Record
 	// Blocked counts requests the profile blocked, by receiver
 	// registrable domain.
 	Blocked map[string]int
+	// FailedFetches counts requests the transport failed to deliver
+	// (after its internal retrying); those exchanges are not recorded.
+	FailedFetches int
 
 	jar map[string][]httpmodel.Cookie // cookie domain -> cookies
 	seq int
@@ -108,10 +124,13 @@ func New(profile Profile, zone *dnssim.Zone) *Browser {
 	}
 }
 
-// Reset clears cookies and captured traffic (a fresh session).
+// Reset clears cookies, captured traffic and the transport (a fresh
+// session on a fresh connection).
 func (b *Browser) Reset() {
 	b.Records = nil
 	b.Blocked = map[string]int{}
+	b.FailedFetches = 0
+	b.Transport = nil
 	b.jar = map[string][]httpmodel.Cookie{}
 	b.seq = 0
 }
@@ -176,6 +195,12 @@ func (b *Browser) Do(req httpmodel.Request, page string, phase httpmodel.Phase, 
 	if receiver, ok := b.allowed(host); !ok {
 		b.Blocked[receiver]++
 		return false
+	}
+	if b.Transport != nil {
+		if err := b.Transport.Fetch(host); err != nil {
+			b.FailedFetches++
+			return false
+		}
 	}
 	pageHost := hostOf(page)
 	if referer != "" {
@@ -252,12 +277,17 @@ func refererFrom(s *site.Site, pageURL, targetHost string) string {
 
 // VisitPage renders a page: the document request, one first-party asset,
 // and every embedded tag's resource load. subpage selects the §5.2
-// persistence context (only OnSubpages tags load).
-func (b *Browser) VisitPage(s *site.Site, pageURL string, phase httpmodel.Phase, subpage bool) {
-	b.Do(httpmodel.Request{
+// persistence context (only OnSubpages tags load). It reports whether
+// the document itself arrived; when it did not (a transport failure),
+// no subresources load and the caller's flow is broken at this step.
+func (b *Browser) VisitPage(s *site.Site, pageURL string, phase httpmodel.Phase, subpage bool) bool {
+	if !b.Do(httpmodel.Request{
 		Method: "GET", URL: pageURL, Type: httpmodel.TypeDocument,
-	}, pageURL, phase, "", httpmodel.Response{})
+	}, pageURL, phase, "", httpmodel.Response{}) {
+		return false
+	}
 	b.RenderSubresources(s, pageURL, phase, subpage)
+	return true
 }
 
 // RenderSubresources loads a page's asset and tags without re-issuing
@@ -302,11 +332,12 @@ func (b *Browser) FireAuthEvent(s *site.Site, pageURL string, phase httpmodel.Ph
 }
 
 // SubmitForm issues the signup/signin form submission as a top-level
-// navigation and returns the result page URL.
-func (b *Browser) SubmitForm(s *site.Site, action string, fields []site.FormField, phase httpmodel.Phase, fromPage string) string {
+// navigation. It reports whether the submission reached the server —
+// false means the transport failed the navigation after retrying.
+func (b *Browser) SubmitForm(s *site.Site, action string, fields []site.FormField, phase httpmodel.Phase, fromPage string) bool {
 	u, err := url.Parse(action)
 	if err != nil {
-		return action
+		return false
 	}
 	req := httpmodel.Request{Method: "POST", URL: action, Type: httpmodel.TypeDocument, Initiator: fromPage}
 	if u.RawQuery != "" {
@@ -326,6 +357,5 @@ func (b *Browser) SubmitForm(s *site.Site, action string, fields []site.FormFiel
 			Name: "session", Value: "sess-" + s.Domain, Domain: s.Host(),
 		}},
 	}
-	b.Do(req, action, phase, fromPage, resp)
-	return action
+	return b.Do(req, action, phase, fromPage, resp)
 }

@@ -1,0 +1,85 @@
+package browser
+
+import (
+	"errors"
+	"testing"
+
+	"piileak/internal/httpmodel"
+)
+
+// failTransport fails delivery to the listed hosts and counts calls.
+type failTransport struct {
+	fail  map[string]bool
+	calls int
+}
+
+func (t *failTransport) Fetch(host string) error {
+	t.calls++
+	if t.fail[host] {
+		return errors.New("injected transport failure")
+	}
+	return nil
+}
+
+func TestTransportFailureOnDocumentAbortsVisit(t *testing.T) {
+	s := leakySite()
+	b := New(Firefox88(), nil)
+	tr := &failTransport{fail: map[string]bool{s.Host(): true}}
+	b.Transport = tr
+	if b.VisitPage(s, s.BaseURL(), httpmodel.PhaseHomepage, false) {
+		t.Fatal("VisitPage succeeded against a dead document host")
+	}
+	if len(b.Records) != 0 {
+		t.Errorf("failed document fetch still recorded %d requests", len(b.Records))
+	}
+	if b.FailedFetches != 1 {
+		t.Errorf("FailedFetches = %d, want 1", b.FailedFetches)
+	}
+	if tr.calls != 1 {
+		t.Errorf("transport consulted %d times, want 1 (no subresources after a dead document)", tr.calls)
+	}
+}
+
+func TestTransportFailureOnTagSkipsOnlyThatRequest(t *testing.T) {
+	s := leakySite()
+	b := New(Firefox88(), nil)
+	b.Transport = &failTransport{fail: map[string]bool{"www.facebook.com": true}}
+	if !b.VisitPage(s, s.BaseURL(), httpmodel.PhaseHomepage, false) {
+		t.Fatal("document fetch failed with a healthy site host")
+	}
+	if len(b.Records) == 0 {
+		t.Fatal("no records despite a successful visit")
+	}
+	for _, r := range b.Records {
+		if r.Request.Host() == "www.facebook.com" {
+			t.Errorf("undeliverable host recorded: %s", r.Request.URL)
+		}
+	}
+	if b.FailedFetches != 1 {
+		t.Errorf("FailedFetches = %d, want 1", b.FailedFetches)
+	}
+}
+
+func TestNilTransportDeliversEverything(t *testing.T) {
+	s := leakySite()
+	b := New(Firefox88(), nil)
+	if !b.VisitPage(s, s.BaseURL(), httpmodel.PhaseHomepage, false) {
+		t.Fatal("nil-transport visit failed")
+	}
+	if b.FailedFetches != 0 {
+		t.Errorf("FailedFetches = %d without a transport", b.FailedFetches)
+	}
+}
+
+func TestResetClearsTransportState(t *testing.T) {
+	b := New(Firefox88(), nil)
+	b.Transport = &failTransport{}
+	b.FailedFetches = 7
+	b.Reset()
+	if b.Transport != nil {
+		t.Error("Reset kept the transport")
+	}
+	if b.FailedFetches != 0 {
+		t.Error("Reset kept FailedFetches")
+	}
+}

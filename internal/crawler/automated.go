@@ -4,7 +4,6 @@ import (
 	"piileak/internal/browser"
 	"piileak/internal/formmatch"
 	"piileak/internal/httpmodel"
-	"piileak/internal/mailbox"
 	"piileak/internal/pii"
 	"piileak/internal/site"
 	"piileak/internal/webgen"
@@ -33,18 +32,7 @@ const (
 // CrawlAutomated runs the §3.2 flow the way an automated crawler would,
 // over every candidate site.
 func CrawlAutomated(eco *webgen.Ecosystem, profile browser.Profile) *Dataset {
-	ds := &Dataset{
-		Browser: profile.Name + " " + profile.Version + " (automated)",
-		Persona: eco.Persona,
-		Mailbox: &mailbox.Mailbox{},
-		Blocked: map[string]int{},
-		CNAMEs:  map[string]string{},
-	}
-	for _, host := range eco.Zone.Hosts() {
-		if chain, err := eco.Zone.Resolve(host); err == nil && len(chain) > 0 {
-			ds.CNAMEs[host] = chain[0]
-		}
-	}
+	ds := newDataset(eco, profile.Name+" "+profile.Version+" (automated)")
 	matcher := formmatch.NewMatcher()
 	b := browser.New(profile, eco.Zone)
 	for _, s := range eco.Sites {

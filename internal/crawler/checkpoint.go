@@ -1,0 +1,215 @@
+package crawler
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"piileak/internal/browser"
+	"piileak/internal/webgen"
+)
+
+// A Checkpoint persists per-site crawl progress as JSON lines: one
+// header identifying the run, then one self-contained line per finished
+// site (crawl record, mail, shield blocks). Each line is written and
+// synced whole, so a killed run loses at most the site in flight; on
+// resume the file is validated against the ecosystem, any torn trailing
+// line from the crash is dropped, and the surviving prefix is rewritten
+// atomically (temp file + rename) before new progress is appended.
+type Checkpoint struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	entries map[string]crawlEntry
+	order   []string // on-disk entry sequence, for the resume rewrite
+	closed  bool
+}
+
+// checkpointHeader pins a checkpoint to one run: resuming under a
+// different seed, site population or browser silently mixes datasets,
+// so it is refused instead.
+type checkpointHeader struct {
+	Version int    `json:"version"`
+	Browser string `json:"browser"`
+	Seed    uint64 `json:"seed"`
+	Sites   int    `json:"sites"`
+}
+
+const checkpointVersion = 1
+
+func headerFor(eco *webgen.Ecosystem, profile browser.Profile) checkpointHeader {
+	return checkpointHeader{
+		Version: checkpointVersion,
+		Browser: profile.Name + " " + profile.Version,
+		Seed:    eco.Config.Seed,
+		Sites:   eco.Config.ShoppingSites,
+	}
+}
+
+// OpenCheckpoint opens a checkpoint file for a run. With resume set and
+// an existing file, completed entries are loaded (and the file's torn
+// tail, if any, discarded); otherwise the file is created fresh.
+func OpenCheckpoint(path string, eco *webgen.Ecosystem, profile browser.Profile, resume bool) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, entries: map[string]crawlEntry{}}
+	want := headerFor(eco, profile)
+
+	if resume {
+		if err := c.load(want); err != nil {
+			return nil, err
+		}
+	}
+
+	// Rewrite header + surviving entries to a temp file and rename:
+	// this truncates any torn tail atomically and leaves the file ready
+	// for whole-line appends. A fresh (non-resume) open is the same
+	// write with zero entries.
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("crawler: checkpoint %s: %w", path, err)
+	}
+	w := bufio.NewWriter(tmp)
+	fail := func(err error) (*Checkpoint, error) {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("crawler: checkpoint %s: %w", path, err)
+	}
+	if err := writeLine(w, want); err != nil {
+		return fail(err)
+	}
+	for _, domain := range c.order {
+		if err := writeLine(w, c.entries[domain]); err != nil {
+			return fail(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fail(err)
+	}
+
+	c.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: checkpoint %s: %w", path, err)
+	}
+	return c, nil
+}
+
+func writeLine(w *bufio.Writer, v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	_, err = w.Write(line)
+	return err
+}
+
+// load reads an existing checkpoint, validating the header and keeping
+// every intact entry line. A missing file is an empty checkpoint; a
+// malformed line ends the readable prefix (crash-torn tail).
+func (c *Checkpoint) load(want checkpointHeader) error {
+	data, err := os.ReadFile(c.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("crawler: checkpoint %s: %w", c.path, err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	if len(lines) == 0 || len(bytes.TrimSpace(lines[0])) == 0 {
+		return nil // empty file: treat as fresh
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		return fmt.Errorf("crawler: checkpoint %s: malformed header: %w", c.path, err)
+	}
+	if hdr != want {
+		return fmt.Errorf("crawler: checkpoint %s: written for %s seed=%d sites=%d, resume requested for %s seed=%d sites=%d",
+			c.path, hdr.Browser, hdr.Seed, hdr.Sites, want.Browser, want.Seed, want.Sites)
+	}
+	for _, line := range lines[1:] {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e crawlEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A torn tail from a killed run: everything before it is
+			// good, the in-flight site re-crawls.
+			break
+		}
+		if e.Crawl.Domain == "" {
+			break
+		}
+		if _, dup := c.entries[e.Crawl.Domain]; dup {
+			return fmt.Errorf("crawler: checkpoint %s: duplicate site %q", c.path, e.Crawl.Domain)
+		}
+		c.entries[e.Crawl.Domain] = e
+		c.order = append(c.order, e.Crawl.Domain)
+	}
+	return nil
+}
+
+// lookup returns a completed site's entry. Safe on a nil receiver — the
+// no-checkpoint crawl path.
+func (c *Checkpoint) lookup(domain string) (crawlEntry, bool) {
+	if c == nil {
+		return crawlEntry{}, false
+	}
+	e, ok := c.entries[domain]
+	return e, ok
+}
+
+// Done reports how many sites the checkpoint already holds.
+func (c *Checkpoint) Done() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.entries)
+}
+
+// Append persists one finished site. The line is written whole and
+// synced before Append returns, so progress survives a kill.
+func (c *Checkpoint) Append(e crawlEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("crawler: checkpoint %s: %w", c.path, err)
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(line); err != nil {
+		return fmt.Errorf("crawler: checkpoint %s: %w", c.path, err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("crawler: checkpoint %s: %w", c.path, err)
+	}
+	c.entries[e.Crawl.Domain] = e
+	c.order = append(c.order, e.Crawl.Domain)
+	return nil
+}
+
+// Close releases the file; it is idempotent so a deferred Close after
+// an explicit one is harmless.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if err := c.f.Close(); err != nil {
+		return fmt.Errorf("crawler: checkpoint %s: %w", c.path, err)
+	}
+	return nil
+}

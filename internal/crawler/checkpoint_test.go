@@ -1,0 +1,157 @@
+package crawler
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"piileak/internal/browser"
+)
+
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	// Crawl half the sites with a checkpoint (simulating a killed run),
+	// then resume over the full set: the merged dataset must be
+	// byte-identical to an uninterrupted crawl — under faults, where
+	// per-site determinism actually earns its keep.
+	eco := faultyEcosystem(t, 53, 0.3)
+	full, err := CrawlOpts(eco, browser.Firefox88(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := datasetBytes(t, full)
+
+	path := filepath.Join(t.TempDir(), "crawl.ckpt")
+	half := eco.Sites[:len(eco.Sites)/2]
+	if _, err := CrawlOpts(eco, browser.Firefox88(), Options{Sites: half, CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := ResumeCrawl(eco, browser.Firefox88(), path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, datasetBytes(t, resumed)) {
+		t.Error("resumed dataset differs from uninterrupted crawl")
+	}
+}
+
+func TestCheckpointResumeToleratesTornTail(t *testing.T) {
+	eco := faultyEcosystem(t, 53, 0.3)
+	full, err := CrawlOpts(eco, browser.Firefox88(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := datasetBytes(t, full)
+
+	path := filepath.Join(t.TempDir(), "crawl.ckpt")
+	if _, err := CrawlOpts(eco, browser.Firefox88(), Options{Sites: eco.Sites[:3], CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-append: a truncated JSON line at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"crawl":{"domain":"torn.example","ou`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	resumed, err := ResumeCrawl(eco, browser.Firefox88(), path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, datasetBytes(t, resumed)) {
+		t.Error("resume after torn tail differs from uninterrupted crawl")
+	}
+}
+
+func TestCheckpointRefusesForeignRun(t *testing.T) {
+	eco := faultyEcosystem(t, 53, 0.3)
+	path := filepath.Join(t.TempDir(), "crawl.ckpt")
+	if _, err := CrawlOpts(eco, browser.Firefox88(), Options{Sites: eco.Sites[:2], CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different seed: the sites are a different population.
+	other := faultyEcosystem(t, 54, 0.3)
+	if _, err := ResumeCrawl(other, browser.Firefox88(), path, Options{}); err == nil {
+		t.Error("resume accepted a checkpoint from a different seed")
+	}
+	// Different browser: the traffic is incomparable.
+	if _, err := ResumeCrawl(eco, browser.Chrome93(), path, Options{}); err == nil {
+		t.Error("resume accepted a checkpoint from a different browser")
+	}
+	// Same run resumes fine.
+	if _, err := ResumeCrawl(eco, browser.Firefox88(), path, Options{}); err != nil {
+		t.Errorf("matching resume failed: %v", err)
+	}
+}
+
+func TestCheckpointRefusesDuplicateEntries(t *testing.T) {
+	eco := faultyEcosystem(t, 53, 0.3)
+	path := filepath.Join(t.TempDir(), "crawl.ckpt")
+	if _, err := CrawlOpts(eco, browser.Firefox88(), Options{Sites: eco.Sites[:2], CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimRight(string(data), "\n"), "\n")
+	last := lines[len(lines)-1]
+	if err := os.WriteFile(path, append(data, []byte(last+"\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeCrawl(eco, browser.Firefox88(), path, Options{}); err == nil {
+		t.Error("resume accepted a checkpoint with a duplicated site")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("error %q does not name the duplicate", err)
+	}
+}
+
+func TestCheckpointParallelResumeMatchesSerial(t *testing.T) {
+	eco := faultyEcosystem(t, 59, 0.3)
+	full, err := CrawlOpts(eco, browser.Firefox88(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := datasetBytes(t, full)
+
+	path := filepath.Join(t.TempDir(), "crawl.ckpt")
+	if _, err := CrawlOpts(eco, browser.Firefox88(), Options{
+		Sites: eco.Sites[:len(eco.Sites)/3], Workers: 4, CheckpointPath: path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeCrawl(eco, browser.Firefox88(), path, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, datasetBytes(t, resumed)) {
+		t.Error("parallel resume differs from uninterrupted serial crawl")
+	}
+}
+
+func TestCheckpointFreshRunTruncatesStaleFile(t *testing.T) {
+	// Without -resume, an existing checkpoint is overwritten, not
+	// appended to: a second fresh run must not see the first's entries.
+	eco := faultyEcosystem(t, 53, 0.3)
+	path := filepath.Join(t.TempDir(), "crawl.ckpt")
+	if _, err := CrawlOpts(eco, browser.Firefox88(), Options{Sites: eco.Sites[:4], CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CrawlOpts(eco, browser.Firefox88(), Options{Sites: eco.Sites[:1], CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := OpenCheckpoint(path, eco, browser.Firefox88(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt.Close()
+	if ckpt.Done() != 1 {
+		t.Errorf("fresh run left %d entries, want 1", ckpt.Done())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"piileak/internal/browser"
@@ -33,6 +34,12 @@ const (
 	OutcomeNoAuthFlow    Outcome = "no_auth_flow"
 	OutcomeSignupBlocked Outcome = "signup_blocked"  // phone / ID / region policies
 	OutcomeCaptcha       Outcome = "captcha_blocked" // Brave shields broke the CAPTCHA
+	// OutcomePartial marks a crawl the resilient runtime abandoned
+	// mid-flow: the site was reached, but a later navigation kept
+	// failing after retries (or its circuit opened), so the record
+	// carries only the traffic up to the broken step instead of
+	// dropping the site outright.
+	OutcomePartial Outcome = "partial"
 )
 
 // SiteCrawl is the captured traffic of one site visit.
@@ -45,6 +52,14 @@ type SiteCrawl struct {
 	// EmailConfirm and BotDetection echo the site's flow properties.
 	EmailConfirm bool `json:"email_confirm,omitempty"`
 	BotDetection bool `json:"bot_detection,omitempty"`
+	// Attempts, Retries and FailedFetches are the resilient runtime's
+	// accounting under fault injection: total fetch attempts (including
+	// retries), backoff retries among them, and requests that stayed
+	// undelivered after the retry/breaker budget. All zero — and absent
+	// from the JSON — on fault-free crawls.
+	Attempts      int `json:"attempts,omitempty"`
+	Retries       int `json:"retries,omitempty"`
+	FailedFetches int `json:"failed_fetches,omitempty"`
 }
 
 // Dataset is a full collection run. It is self-contained: the persona
@@ -106,11 +121,28 @@ func (d *Dataset) WriteJSON(w io.Writer) error {
 	return enc.Encode(d)
 }
 
-// ReadJSON deserializes a dataset.
+// ReadJSON deserializes a dataset and validates its shape: every site
+// appears at most once (a resumed or merged run that duplicated a
+// domain would silently double-count leaks downstream).
 func ReadJSON(r io.Reader) (*Dataset, error) {
+	d, err := decodeDataset(r)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: %w", err)
+	}
+	return d, nil
+}
+
+func decodeDataset(r io.Reader) (*Dataset, error) {
 	var d Dataset
 	if err := json.NewDecoder(r).Decode(&d); err != nil {
-		return nil, fmt.Errorf("crawler: decoding dataset: %w", err)
+		return nil, fmt.Errorf("decoding dataset: %w", err)
+	}
+	seen := make(map[string]bool, len(d.Crawls))
+	for _, c := range d.Crawls {
+		if seen[c.Domain] {
+			return nil, fmt.Errorf("corrupt dataset: duplicate site domain %q", c.Domain)
+		}
+		seen[c.Domain] = true
 	}
 	return &d, nil
 }
@@ -129,8 +161,16 @@ func CrawlSenders(eco *webgen.Ecosystem, profile browser.Profile) *Dataset {
 
 // CrawlSites crawls a chosen site subset.
 func CrawlSites(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site) *Dataset {
+	// Without a checkpoint the serial loop cannot fail.
+	ds, _ := crawlSerial(eco, profile, sites, Options{})
+	return ds
+}
+
+// newDataset builds an empty dataset shell: persona, browser label and
+// the zone's CNAME view.
+func newDataset(eco *webgen.Ecosystem, browserLabel string) *Dataset {
 	ds := &Dataset{
-		Browser: profile.Name + " " + profile.Version,
+		Browser: browserLabel,
 		Persona: eco.Persona,
 		Mailbox: &mailbox.Mailbox{},
 		Blocked: map[string]int{},
@@ -141,20 +181,14 @@ func CrawlSites(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Si
 			ds.CNAMEs[host] = chain[0]
 		}
 	}
-	b := browser.New(profile, eco.Zone)
-	for _, s := range sites {
-		crawl := crawlOne(b, s, eco.Persona, ds.Mailbox)
-		ds.Crawls = append(ds.Crawls, crawl)
-		for recv, n := range b.Blocked {
-			ds.Blocked[recv] += n
-		}
-		b.Reset()
-	}
 	return ds
 }
 
-// crawlOne executes the flow on one site.
-func crawlOne(b *browser.Browser, s *site.Site, p pii.Persona, mbox *mailbox.Mailbox) SiteCrawl {
+// crawlOne executes the flow on one site. rt is the resilient transport
+// for this crawl (nil for the stock fault-free run): when set, every
+// navigation can fail after retries, and the flow degrades instead of
+// pretending the web is reliable.
+func crawlOne(b *browser.Browser, s *site.Site, p pii.Persona, mbox *mailbox.Mailbox, rt *faultTransport) SiteCrawl {
 	crawl := SiteCrawl{
 		Domain:       s.Domain,
 		Rank:         s.Rank,
@@ -162,35 +196,46 @@ func crawlOne(b *browser.Browser, s *site.Site, p pii.Persona, mbox *mailbox.Mai
 		EmailConfirm: s.EmailConfirm,
 		BotDetection: s.BotDetection,
 	}
+	if rt != nil {
+		b.Transport = rt
+	}
+	finish := func(outcome Outcome) SiteCrawl {
+		crawl.Outcome = outcome
+		crawl.Records = b.Records
+		rt.account(&crawl, b)
+		return crawl
+	}
 
 	switch s.Obstacle {
 	case site.ObstacleUnreachable:
 		crawl.Outcome = OutcomeUnreachable
+		rt.account(&crawl, b)
 		return crawl
 	case site.ObstacleNoAuth:
 		b.VisitPage(s, s.BaseURL(), httpmodel.PhaseHomepage, false)
-		crawl.Outcome = OutcomeNoAuthFlow
-		crawl.Records = b.Records
-		return crawl
+		return finish(OutcomeNoAuthFlow)
 	case site.ObstaclePhoneVerify, site.ObstacleIDDocuments, site.ObstacleRegionBlock:
 		b.VisitPage(s, s.BaseURL(), httpmodel.PhaseHomepage, false)
 		b.VisitPage(s, s.PageURL("/account/signup"), httpmodel.PhaseSignup, false)
-		crawl.Outcome = OutcomeSignupBlocked
-		crawl.Records = b.Records
-		return crawl
+		return finish(OutcomeSignupBlocked)
 	}
 
-	// Homepage, then the sign-up page.
-	b.VisitPage(s, s.BaseURL(), httpmodel.PhaseHomepage, false)
+	// Homepage, then the sign-up page. A homepage that never arrives —
+	// retries spent, circuit opened — is the live-web unreachable case
+	// (§3.2's 22 sites); a later step breaking instead degrades the
+	// record to partial.
+	if !b.VisitPage(s, s.BaseURL(), httpmodel.PhaseHomepage, false) {
+		return finish(OutcomeUnreachable)
+	}
 	signupPage := s.PageURL("/account/signup")
-	b.VisitPage(s, signupPage, httpmodel.PhaseSignup, false)
+	if !b.VisitPage(s, signupPage, httpmodel.PhaseSignup, false) {
+		return finish(OutcomePartial)
+	}
 
 	// Bot detection: a human operator passes; Brave's shields break
 	// the CAPTCHA widget on one site (§7.1).
 	if s.BotDetection && s.CaptchaBreaksUnderShields && b.Profile.Shields != nil {
-		crawl.Outcome = OutcomeCaptcha
-		crawl.Records = b.Records
-		return crawl
+		return finish(OutcomeCaptcha)
 	}
 
 	// Submit the sign-up form. GET forms land on the action URL with
@@ -201,61 +246,102 @@ func crawlOne(b *browser.Browser, s *site.Site, p pii.Persona, mbox *mailbox.Mai
 	if !s.SignupGET {
 		resultPage = s.PageURL("/account/welcome")
 	}
-	b.SubmitForm(s, action, s.FormFields(p), httpmodel.PhaseSignup, signupPage)
+	if !b.SubmitForm(s, action, s.FormFields(p), httpmodel.PhaseSignup, signupPage) {
+		return finish(OutcomePartial)
+	}
 	b.RenderSubresources(s, resultPage, httpmodel.PhaseSignup, false)
 	b.FireAuthEvent(s, resultPage, httpmodel.PhaseSignup, false, p, 1)
 
-	// E-mail confirmation when the site requires it.
+	// E-mail confirmation when the site requires it. The mail is sent
+	// by the sign-up that just succeeded, so it is delivered even when
+	// the activation visit then fails.
 	if s.EmailConfirm {
 		link := s.PageURL("/account/confirm?token=tok-" + s.Domain)
 		mbox.DeliverConfirmation(s.Domain, link)
-		b.VisitPage(s, link, httpmodel.PhaseConfirm, false)
+		if !b.VisitPage(s, link, httpmodel.PhaseConfirm, false) {
+			return finish(OutcomePartial)
+		}
 	}
 
 	// Sign in with the created account.
 	loginPage := s.PageURL("/account/login")
-	b.VisitPage(s, loginPage, httpmodel.PhaseSignin, false)
+	if !b.VisitPage(s, loginPage, httpmodel.PhaseSignin, false) {
+		return finish(OutcomePartial)
+	}
 	home := s.PageURL("/account/home")
-	b.SubmitForm(s, s.PageURL("/account/login/submit"), []site.FormField{
+	if !b.SubmitForm(s, s.PageURL("/account/login/submit"), []site.FormField{
 		{Name: "email", Value: p.Email},
 		{Name: "password", Value: "correct-horse-battery"},
-	}, httpmodel.PhaseSignin, loginPage)
+	}, httpmodel.PhaseSignin, loginPage) {
+		return finish(OutcomePartial)
+	}
 	b.RenderSubresources(s, home, httpmodel.PhaseSignin, false)
 	b.FireAuthEvent(s, home, httpmodel.PhaseSignin, false, p, 1)
 
 	// Reload the logged-in page.
-	b.VisitPage(s, home, httpmodel.PhaseReload, false)
+	if !b.VisitPage(s, home, httpmodel.PhaseReload, false) {
+		return finish(OutcomePartial)
+	}
 	b.FireAuthEvent(s, home, httpmodel.PhaseReload, false, p, 1)
 
 	// Click through to a product subpage (§5.2's persistence probe):
 	// persistent tags fire on the view and again on an interaction.
 	product := s.PageURL("/product/8812")
-	b.VisitPage(s, product, httpmodel.PhaseSubpage, true)
+	if !b.VisitPage(s, product, httpmodel.PhaseSubpage, true) {
+		return finish(OutcomePartial)
+	}
 	b.FireAuthEvent(s, product, httpmodel.PhaseSubpage, true, p, 2)
 
 	// Post-signup marketing mail.
 	mbox.DeliverMarketing(s.Domain, s.MarketingMails, s.SpamMails)
 
-	crawl.Outcome = OutcomeSuccess
-	crawl.Records = b.Records
-	return crawl
+	return finish(OutcomeSuccess)
 }
 
 // WriteJSONFile writes the dataset to a path, gzip-compressing when the
-// name ends in ".gz" (full datasets are ~10 MB of JSON).
-func (d *Dataset) WriteJSONFile(path string) error {
-	f, err := os.Create(path)
+// name ends in ".gz" (full datasets are ~10 MB of JSON). The write goes
+// through a temp file in the same directory and an atomic rename, and
+// every close/flush error propagates — a crashed or disk-full run can
+// never leave a truncated dataset under the final name.
+func (d *Dataset) WriteJSONFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return err
+		return fmt.Errorf("crawler: writing %s: %w", path, err)
 	}
-	defer f.Close()
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	var w io.Writer = f
+	var gz *gzip.Writer
 	if strings.HasSuffix(path, ".gz") {
-		gz := gzip.NewWriter(f)
-		defer gz.Close()
+		gz = gzip.NewWriter(f)
 		w = gz
 	}
-	return d.WriteJSON(w)
+	if err = d.WriteJSON(w); err != nil {
+		return fmt.Errorf("crawler: writing %s: %w", path, err)
+	}
+	if gz != nil {
+		// Close flushes the compressor; losing this error is how
+		// truncated .gz datasets used to reach disk.
+		if err = gz.Close(); err != nil {
+			return fmt.Errorf("crawler: writing %s: flushing gzip: %w", path, err)
+		}
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("crawler: writing %s: %w", path, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("crawler: writing %s: %w", path, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("crawler: writing %s: %w", path, err)
+	}
+	return nil
 }
 
 // ReadJSONFile loads a dataset from a path, transparently decompressing
@@ -263,17 +349,21 @@ func (d *Dataset) WriteJSONFile(path string) error {
 func ReadJSONFile(path string) (*Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("crawler: %w", err)
 	}
 	defer f.Close()
 	var r io.Reader = f
 	if strings.HasSuffix(path, ".gz") {
 		gz, err := gzip.NewReader(f)
 		if err != nil {
-			return nil, fmt.Errorf("crawler: %w", err)
+			return nil, fmt.Errorf("crawler: reading %s: %w", path, err)
 		}
 		defer gz.Close()
 		r = gz
 	}
-	return ReadJSON(r)
+	ds, err := decodeDataset(r)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: reading %s: %w", path, err)
+	}
+	return ds, nil
 }

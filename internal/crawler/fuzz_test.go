@@ -1,0 +1,49 @@
+package crawler
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReadJSON hammers the dataset decoders with malformed input. Both
+// the plain and the gzip path must fail cleanly — no panic, no non-nil
+// dataset alongside an error — whatever the bytes look like. The seed
+// corpus covers the two regressions that motivated the hardening:
+// invalid JSON and a gzip stream truncated mid-flush.
+func FuzzReadJSON(f *testing.F) {
+	valid := []byte(`{"browser":"firefox 88","crawls":[{"domain":"a.example","rank":1,"outcome":"success"}]}`)
+	var gz bytes.Buffer
+	w := gzip.NewWriter(&gz)
+	w.Write(valid)
+	w.Close()
+
+	f.Add(valid)
+	f.Add([]byte("{broken"))
+	f.Add([]byte(`{"crawls":[{"domain":"a.com"},{"domain":"a.com"}]}`))
+	f.Add(gz.Bytes())
+	f.Add(gz.Bytes()[:gz.Len()/2]) // truncated gzip
+	f.Add(gz.Bytes()[:12])         // gzip header only
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := ReadJSON(bytes.NewReader(data))
+		if (ds == nil) == (err == nil) {
+			t.Fatalf("ReadJSON returned ds=%v err=%v", ds, err)
+		}
+
+		dir := t.TempDir()
+		for _, name := range []string{"ds.json", "ds.json.gz"} {
+			path := filepath.Join(dir, name)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ds, err := ReadJSONFile(path)
+			if (ds == nil) == (err == nil) {
+				t.Fatalf("ReadJSONFile(%s) returned ds=%v err=%v", name, ds, err)
+			}
+		}
+	})
+}

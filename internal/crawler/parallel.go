@@ -5,22 +5,24 @@ import (
 	"sync"
 
 	"piileak/internal/browser"
-	"piileak/internal/mailbox"
 	"piileak/internal/site"
 	"piileak/internal/webgen"
 )
 
 // CrawlParallel is Crawl with a bounded worker pool. Site crawls are
-// independent (each gets a fresh browser session), so the dataset is
-// byte-identical to the serial crawl: results are merged in site order,
-// including the mailbox stream and the per-receiver block counters.
+// independent (each gets a fresh browser session and, under fault
+// injection, its own transport with per-host breakers), so the dataset
+// is byte-identical to the serial crawl: results are merged in site
+// order, including the mailbox stream and the per-receiver block
+// counters.
 //
 // workers <= 0 selects GOMAXPROCS.
 func CrawlParallel(eco *webgen.Ecosystem, profile browser.Profile, workers int) *Dataset {
-	return crawlParallel(eco, profile, eco.Sites, workers)
+	ds, _ := crawlParallel(eco, profile, eco.Sites, workers, Options{})
+	return ds
 }
 
-func crawlParallel(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, workers int) *Dataset {
+func crawlParallel(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, workers int, opts Options) (*Dataset, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -31,14 +33,32 @@ func crawlParallel(eco *webgen.Ecosystem, profile browser.Profile, sites []*site
 		workers = 1
 	}
 
-	type result struct {
-		crawl   SiteCrawl
-		mbox    mailbox.Mailbox
-		blocked map[string]int
-	}
-	results := make([]result, len(sites))
+	inj := injectorFor(eco, opts)
 
-	var wg sync.WaitGroup
+	var ckpt *Checkpoint
+	if opts.CheckpointPath != "" {
+		var err error
+		ckpt, err = OpenCheckpoint(opts.CheckpointPath, eco, profile, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.Close()
+	}
+
+	results := make([]crawlEntry, len(sites))
+	done := make([]bool, len(sites))
+	for i, s := range sites {
+		if e, ok := ckpt.lookup(s.Domain); ok {
+			results[i] = e
+			done[i] = true
+		}
+	}
+
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -46,40 +66,36 @@ func crawlParallel(eco *webgen.Ecosystem, profile browser.Profile, sites []*site
 			defer wg.Done()
 			b := browser.New(profile, eco.Zone)
 			for i := range next {
-				var mbox mailbox.Mailbox
-				results[i] = result{
-					crawl:   crawlOne(b, sites[i], eco.Persona, &mbox),
-					mbox:    mbox,
-					blocked: b.Blocked,
+				e := crawlEntryFor(b, eco, sites[i], newFaultTransport(eco, inj, opts.Policy))
+				if ckpt != nil {
+					if err := ckpt.Append(e); err != nil {
+						errOnce.Do(func() { firstEr = err })
+					}
 				}
+				results[i] = e
 				b.Reset()
 			}
 		}()
 	}
 	for i := range sites {
-		next <- i
+		if !done[i] {
+			next <- i
+		}
 	}
 	close(next)
 	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
 
-	ds := &Dataset{
-		Browser: profile.Name + " " + profile.Version,
-		Persona: eco.Persona,
-		Mailbox: &mailbox.Mailbox{},
-		Blocked: map[string]int{},
-		CNAMEs:  map[string]string{},
-	}
-	for _, host := range eco.Zone.Hosts() {
-		if chain, err := eco.Zone.Resolve(host); err == nil && len(chain) > 0 {
-			ds.CNAMEs[host] = chain[0]
-		}
-	}
+	ds := newDataset(eco, profile.Name+" "+profile.Version)
 	for i := range results {
-		ds.Crawls = append(ds.Crawls, results[i].crawl)
-		ds.Mailbox.Messages = append(ds.Mailbox.Messages, results[i].mbox.Messages...)
-		for recv, n := range results[i].blocked {
-			ds.Blocked[recv] += n
+		ds.merge(results[i])
+	}
+	if ckpt != nil {
+		if err := ckpt.Close(); err != nil {
+			return nil, err
 		}
 	}
-	return ds
+	return ds, nil
 }

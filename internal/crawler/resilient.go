@@ -1,0 +1,205 @@
+package crawler
+
+import (
+	"fmt"
+
+	"piileak/internal/browser"
+	"piileak/internal/dnssim"
+	"piileak/internal/faultsim"
+	"piileak/internal/mailbox"
+	"piileak/internal/resilience"
+	"piileak/internal/site"
+	"piileak/internal/webgen"
+)
+
+// This file is the resilient crawl runtime: the glue between faultsim's
+// injected failures and the §3.2 flow. Every site crawl gets its own
+// transport — per-host attempt counters, circuit breakers and a virtual
+// clock — so serial, parallel and resumed runs of the same seed produce
+// byte-identical datasets.
+
+// Options configures a crawl beyond the stock fault-free defaults.
+type Options struct {
+	// Sites restricts the crawl; nil means every candidate site.
+	Sites []*site.Site
+	// Workers > 0 crawls with that many parallel workers (<= 0 inside
+	// CrawlOpts means serial; CrawlParallel keeps its own convention
+	// that <= 0 selects GOMAXPROCS).
+	Workers int
+	// Faults overrides the ecosystem's injector; nil falls back to
+	// eco.Faults (which is nil for fault-free configs).
+	Faults *faultsim.Injector
+	// Policy tunes retry/backoff/breaker behaviour; zero fields take
+	// resilience.DefaultPolicy values.
+	Policy resilience.Policy
+	// CheckpointPath, when set, persists per-site progress so an
+	// interrupted run can continue; Resume loads the file's completed
+	// sites instead of re-crawling them.
+	CheckpointPath string
+	Resume         bool
+}
+
+// CrawlOpts runs a crawl under explicit options.
+func CrawlOpts(eco *webgen.Ecosystem, profile browser.Profile, opts Options) (*Dataset, error) {
+	sites := opts.Sites
+	if sites == nil {
+		sites = eco.Sites
+	}
+	if opts.Workers > 0 {
+		return crawlParallel(eco, profile, sites, opts.Workers, opts)
+	}
+	return crawlSerial(eco, profile, sites, opts)
+}
+
+// ResumeCrawl continues an interrupted checkpointed crawl: completed
+// sites come from the checkpoint, the remainder are crawled, and the
+// merged dataset is identical to an uninterrupted run's.
+func ResumeCrawl(eco *webgen.Ecosystem, profile browser.Profile, path string, opts Options) (*Dataset, error) {
+	opts.CheckpointPath = path
+	opts.Resume = true
+	return CrawlOpts(eco, profile, opts)
+}
+
+// injectorFor resolves the effective injector for a crawl.
+func injectorFor(eco *webgen.Ecosystem, opts Options) *faultsim.Injector {
+	if opts.Faults != nil {
+		return opts.Faults
+	}
+	return eco.Faults
+}
+
+// faultTransport is one site crawl's network path: injected faults from
+// the injector, DNS flakiness through a hooked resolver, and retry +
+// backoff + per-host circuit breakers from the resilience executor. All
+// state is scoped to the one crawl, which is what keeps parallel and
+// serial runs identical. A nil *faultTransport is the fault-free path.
+type faultTransport struct {
+	inj      *faultsim.Injector
+	exec     *resilience.Executor
+	resolver *dnssim.Resolver
+	hits     map[string]int // per-host non-DNS fetch attempts
+	total    int            // every attempt, for SiteCrawl.Attempts
+}
+
+// newFaultTransport builds a transport for one site crawl; nil injector
+// yields nil (no transport, no overhead).
+func newFaultTransport(eco *webgen.Ecosystem, inj *faultsim.Injector, policy resilience.Policy) *faultTransport {
+	if inj == nil {
+		return nil
+	}
+	return &faultTransport{
+		inj:      inj,
+		exec:     resilience.NewExecutor(policy, nil, inj.Seed()),
+		resolver: dnssim.NewResolver(eco.Zone, inj.DNSHook()),
+		hits:     map[string]int{},
+	}
+}
+
+// Fetch attempts delivery to host under the retry/breaker budget.
+func (t *faultTransport) Fetch(host string) error {
+	return t.exec.Do(host, func() error {
+		t.total++
+		// DNS leg: flaky resolution fails before any connection.
+		if _, err := t.resolver.Lookup(host); err != nil {
+			return err
+		}
+		t.hits[host]++
+		f := t.inj.Check(host, t.hits[host])
+		if f == nil {
+			return nil
+		}
+		budget := t.exec.Policy.AttemptTimeout
+		switch f.Kind {
+		case faultsim.KindSlow:
+			if f.Delay <= budget {
+				// Slow but within the attempt budget: the fetch
+				// succeeds, it just costs time.
+				t.exec.Clock.Sleep(f.Delay)
+				return nil
+			}
+			t.exec.Clock.Sleep(budget)
+			return fmt.Errorf("crawler: %s: response exceeded %v attempt budget: %w", host, budget, f)
+		case faultsim.KindTimeout:
+			t.exec.Clock.Sleep(budget)
+			return f
+		default:
+			return f
+		}
+	})
+}
+
+// account stamps the runtime's counters onto a finished site record.
+// Safe on a nil receiver (the fault-free path), where it must leave the
+// record untouched so default datasets stay byte-identical.
+func (t *faultTransport) account(c *SiteCrawl, b *browser.Browser) {
+	if t == nil {
+		return
+	}
+	c.Attempts = t.total
+	c.Retries = t.exec.Retries
+	c.FailedFetches = b.FailedFetches
+}
+
+// crawlEntry is one site's complete progress unit: the crawl record
+// plus the mail and shield-block side effects that must travel with it
+// through checkpoints and parallel merges.
+type crawlEntry struct {
+	Crawl   SiteCrawl         `json:"crawl"`
+	Mail    []mailbox.Message `json:"mail,omitempty"`
+	Blocked map[string]int    `json:"blocked,omitempty"`
+}
+
+// crawlEntryFor runs one site through the flow and packages the result.
+func crawlEntryFor(b *browser.Browser, eco *webgen.Ecosystem, s *site.Site, rt *faultTransport) crawlEntry {
+	var mbox mailbox.Mailbox
+	crawl := crawlOne(b, s, eco.Persona, &mbox, rt)
+	return crawlEntry{Crawl: crawl, Mail: mbox.Messages, Blocked: b.Blocked}
+}
+
+// merge appends an entry to the dataset in site order.
+func (d *Dataset) merge(e crawlEntry) {
+	d.Crawls = append(d.Crawls, e.Crawl)
+	d.Mailbox.Messages = append(d.Mailbox.Messages, e.Mail...)
+	for recv, n := range e.Blocked {
+		d.Blocked[recv] += n
+	}
+}
+
+// crawlSerial is the single-browser loop behind Crawl/CrawlSites and
+// the checkpointing/resilient paths.
+func crawlSerial(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, opts Options) (*Dataset, error) {
+	inj := injectorFor(eco, opts)
+	ds := newDataset(eco, profile.Name+" "+profile.Version)
+
+	var ckpt *Checkpoint
+	if opts.CheckpointPath != "" {
+		var err error
+		ckpt, err = OpenCheckpoint(opts.CheckpointPath, eco, profile, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.Close()
+	}
+
+	b := browser.New(profile, eco.Zone)
+	for _, s := range sites {
+		if e, ok := ckpt.lookup(s.Domain); ok {
+			ds.merge(e)
+			continue
+		}
+		e := crawlEntryFor(b, eco, s, newFaultTransport(eco, inj, opts.Policy))
+		if ckpt != nil {
+			if err := ckpt.Append(e); err != nil {
+				return nil, err
+			}
+		}
+		ds.merge(e)
+		b.Reset()
+	}
+	if ckpt != nil {
+		if err := ckpt.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}

@@ -53,6 +53,50 @@ func (z *Zone) Hosts() []string {
 	return hosts
 }
 
+// LookupHook lets a fault injector veto a resolution: it sees the host
+// and the 1-based count of lookups this resolver has made for it, and
+// returns the injected error (nil = resolution proceeds). faultsim's
+// Injector.DNSHook produces one.
+type LookupHook func(host string, attempt int) error
+
+// Resolver answers lookups against a zone with optional injected
+// faults. In the synthetic web every host resolves, so a Resolver
+// without a hook never fails; with one, hosts can be made transiently
+// unresolvable — the DNS leg of the crawl's fault model. The per-host
+// attempt counter is what lets flaky-then-healthy hosts recover under
+// retry. Not safe for concurrent use; scope one per crawl.
+type Resolver struct {
+	zone     *Zone
+	hook     LookupHook
+	attempts map[string]int
+}
+
+// NewResolver wires a resolver over a zone; hook may be nil.
+func NewResolver(zone *Zone, hook LookupHook) *Resolver {
+	if zone == nil {
+		zone = NewZone()
+	}
+	return &Resolver{zone: zone, hook: hook, attempts: map[string]int{}}
+}
+
+// Lookup resolves host, returning its CNAME chain (empty for apex
+// hosts) or the injected resolution error.
+func (r *Resolver) Lookup(host string) ([]string, error) {
+	host = psl.Normalize(host)
+	r.attempts[host]++
+	if r.hook != nil {
+		if err := r.hook(host, r.attempts[host]); err != nil {
+			return nil, err
+		}
+	}
+	return r.zone.Resolve(host)
+}
+
+// Attempts reports how many lookups host has seen.
+func (r *Resolver) Attempts(host string) int {
+	return r.attempts[psl.Normalize(host)]
+}
+
 // CloakingList is a blocklist of tracker registrable domains known to
 // offer CNAME cloaking.
 type CloakingList struct {

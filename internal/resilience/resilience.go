@@ -1,0 +1,383 @@
+// Package resilience is the crawl runtime's answer to a flaky web:
+// retry with exponential backoff and deterministic jitter, per-attempt
+// timeout budgets, and per-host circuit breakers. The studies this
+// reproduction follows (OpenWPM-style crawls) all grew this machinery
+// once their measurement runs met the live web; here it is a reusable
+// layer the crawler drives against the faultsim substrate.
+//
+// Determinism is the design constraint: backoff jitter is a pure
+// function of (seed, key, attempt) and time flows through a Clock, so a
+// simulated crawl uses a VirtualClock and replays identically — serial,
+// parallel, or resumed.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Policy bundles the retry, timeout and breaker knobs.
+type Policy struct {
+	// MaxAttempts is the total tries per fetch (1 = no retry).
+	MaxAttempts int
+	// BaseDelay is the first backoff; successive retries multiply it by
+	// Multiplier up to MaxDelay.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter is the fraction of each backoff randomized (0..1),
+	// deterministically per (seed, key, attempt).
+	Jitter float64
+	// AttemptTimeout is the per-attempt budget: a response slower than
+	// this fails the attempt.
+	AttemptTimeout time.Duration
+	// BreakerThreshold consecutive failures open a host's breaker;
+	// BreakerCooldown later it half-opens and BreakerProbes successful
+	// probes close it again.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	BreakerProbes    int
+}
+
+// DefaultPolicy returns the crawl runtime's stock tuning: four attempts
+// with 250ms..8s backoff, a 10s attempt budget, and a breaker that
+// opens after five straight failures. The threshold deliberately
+// exceeds MaxAttempts: one fetch's own retry burst can never trip the
+// breaker (a flaky host must be allowed to recover on its last
+// attempt); only sustained failure across successive fetches opens it.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:      4,
+		BaseDelay:        250 * time.Millisecond,
+		MaxDelay:         8 * time.Second,
+		Multiplier:       2,
+		Jitter:           0.5,
+		AttemptTimeout:   10 * time.Second,
+		BreakerThreshold: 5,
+		BreakerCooldown:  30 * time.Second,
+		BreakerProbes:    1,
+	}
+}
+
+// WithDefaults fills unset fields from DefaultPolicy, so callers can
+// override just MaxAttempts and keep the rest stock. Non-positive
+// values count as unset: a negative MaxAttempts would otherwise make
+// every Do a zero-attempt no-op that reports success.
+func (p Policy) WithDefaults() Policy {
+	d := DefaultPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.Multiplier <= 0 {
+		p.Multiplier = d.Multiplier
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = d.Jitter
+	}
+	if p.AttemptTimeout <= 0 {
+		p.AttemptTimeout = d.AttemptTimeout
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = d.BreakerThreshold
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = d.BreakerCooldown
+	}
+	if p.BreakerProbes <= 0 {
+		p.BreakerProbes = d.BreakerProbes
+	}
+	return p
+}
+
+// mix64 is splitmix64's finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Backoff returns the delay before retry number attempt (1-based: the
+// wait after the attempt-th failure). The jittered part is a pure
+// function of (seed, key, attempt).
+func (p Policy) Backoff(seed uint64, key string, attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		h := seed ^ uint64(attempt)*0x9e3779b97f4a7c15
+		for i := 0; i < len(key); i++ {
+			h = mix64(h ^ uint64(key[i]))
+		}
+		u := float64(mix64(h)>>11) / float64(1<<53) // [0, 1)
+		d *= 1 - p.Jitter*u                         // full-jitter downward
+	}
+	return time.Duration(d)
+}
+
+// Clock abstracts time so the simulated crawl never sleeps for real.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+// Now returns time.Now.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep calls time.Sleep.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// VirtualClock advances instantly on Sleep. It starts at a fixed epoch
+// so runs are comparable, and is safe for concurrent use.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock returns a clock pinned at the Unix epoch.
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{now: time.Unix(0, 0)}
+}
+
+// Now returns the virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the virtual time by d without blocking.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Elapsed is the virtual time slept since the epoch.
+func (c *VirtualClock) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now.Sub(time.Unix(0, 0))
+}
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// The classic three-state machine.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String names the state for reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-host circuit breaker. It is not safe for concurrent
+// use; scope one BreakerSet per crawl (the crawler gives every site
+// crawl its own, which is what keeps parallel crawls deterministic).
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	probes    int
+
+	state     BreakerState
+	fails     int
+	successes int
+	until     time.Time // when an open breaker may half-open
+}
+
+// NewBreaker builds a breaker from the policy's thresholds.
+func NewBreaker(p Policy) *Breaker {
+	return &Breaker{threshold: p.BreakerThreshold, cooldown: p.BreakerCooldown, probes: p.BreakerProbes}
+}
+
+// State reports the breaker's current position.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Allow reports whether a request may proceed now. An open breaker
+// half-opens once its cooldown has passed.
+func (b *Breaker) Allow(now time.Time) bool {
+	if b.state == BreakerOpen {
+		if now.Before(b.until) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.successes = 0
+	}
+	return true
+}
+
+// Record feeds one request outcome into the state machine.
+func (b *Breaker) Record(now time.Time, ok bool) {
+	if ok {
+		switch b.state {
+		case BreakerHalfOpen:
+			b.successes++
+			if b.successes >= b.probes {
+				b.state = BreakerClosed
+				b.fails = 0
+			}
+		default:
+			b.fails = 0
+		}
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		// A failed probe re-opens immediately.
+		b.state = BreakerOpen
+		b.until = now.Add(b.cooldown)
+	default:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.until = now.Add(b.cooldown)
+		}
+	}
+}
+
+// BreakerSet keys breakers by host, creating them on demand.
+type BreakerSet struct {
+	policy Policy
+	m      map[string]*Breaker
+}
+
+// NewBreakerSet builds an empty set under a policy.
+func NewBreakerSet(p Policy) *BreakerSet {
+	return &BreakerSet{policy: p, m: map[string]*Breaker{}}
+}
+
+// Get returns host's breaker, creating it closed.
+func (s *BreakerSet) Get(host string) *Breaker {
+	b, ok := s.m[host]
+	if !ok {
+		b = NewBreaker(s.policy)
+		s.m[host] = b
+	}
+	return b
+}
+
+// Open lists hosts whose breaker is currently open, for reporting.
+func (s *BreakerSet) Open() []string {
+	var out []string
+	for h, b := range s.m {
+		if b.state == BreakerOpen {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// ErrCircuitOpen marks a fetch refused because the host's breaker was
+// open — the runtime's "stop hammering a dead host" signal.
+var ErrCircuitOpen = errors.New("resilience: circuit open")
+
+// Transient tags errors that are worth retrying.
+type Transient interface{ Transient() bool }
+
+// retryable reports whether err should be retried: transient-tagged
+// errors by their own word, everything else optimistically (a live
+// crawler cannot classify unknown transport errors), except an open
+// circuit, which retrying cannot help within the same backoff budget.
+func retryable(err error) bool {
+	if errors.Is(err, ErrCircuitOpen) {
+		return false
+	}
+	var t Transient
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return true
+}
+
+// Executor runs operations under one policy, clock and breaker set. It
+// is single-goroutine (one per site crawl); Retries accumulates the
+// backoff retries performed for reporting.
+type Executor struct {
+	Policy   Policy
+	Clock    Clock
+	Seed     uint64
+	Breakers *BreakerSet
+
+	// Retries counts attempts beyond each fetch's first.
+	Retries int
+}
+
+// NewExecutor wires an executor with a fresh breaker set; a nil clock
+// selects a VirtualClock (the simulation default).
+func NewExecutor(p Policy, clock Clock, seed uint64) *Executor {
+	p = p.WithDefaults()
+	if clock == nil {
+		clock = NewVirtualClock()
+	}
+	return &Executor{Policy: p, Clock: clock, Seed: seed, Breakers: NewBreakerSet(p)}
+}
+
+// Do runs op under retry/backoff and key's circuit breaker. op is
+// called with nothing and must do its own attempt accounting (the
+// crawler's transport counts per-host fetches). Do returns nil on
+// success, ErrCircuitOpen (wrapped) when the breaker refused, or the
+// last attempt's error once the budget is spent.
+func (e *Executor) Do(key string, op func() error) error {
+	br := e.Breakers.Get(key)
+	var last error
+	for attempt := 1; attempt <= e.Policy.MaxAttempts; attempt++ {
+		if !br.Allow(e.Clock.Now()) {
+			if last != nil {
+				return fmt.Errorf("%w: %s (last error: %v)", ErrCircuitOpen, key, last)
+			}
+			return fmt.Errorf("%w: %s", ErrCircuitOpen, key)
+		}
+		err := op()
+		br.Record(e.Clock.Now(), err == nil)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if !retryable(err) {
+			return last
+		}
+		if attempt < e.Policy.MaxAttempts {
+			e.Retries++
+			e.Clock.Sleep(e.Policy.Backoff(e.Seed, key, attempt))
+		}
+	}
+	return last
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"piileak/internal/dnssim"
+	"piileak/internal/faultsim"
 	"piileak/internal/httpmodel"
 	"piileak/internal/pii"
 	"piileak/internal/site"
@@ -44,6 +45,13 @@ type Config struct {
 	// §4.2.3 mailbox volumes.
 	InboxMails int // 2172
 	SpamMails  int // 141
+
+	// Faults opts the substrate into deterministic fault injection:
+	// site and third-party hosts become intermittently (or permanently)
+	// faulty per the seeded faultsim profile, and the crawler's
+	// resilience runtime has something to fight. nil — the default, and
+	// the paper's calibration — keeps every host perfectly reliable.
+	Faults *faultsim.Config
 }
 
 // DefaultConfig returns the paper-calibrated configuration.
@@ -143,6 +151,9 @@ type Ecosystem struct {
 	// BraveShields is the set of receiver registrable domains Brave's
 	// shields block.
 	BraveShields map[string]bool
+	// Faults is the compiled fault injector when Config.Faults is set;
+	// nil for the stock, perfectly-reliable substrate.
+	Faults *faultsim.Injector
 }
 
 const refererSenders = 3 // GET-signup senders (indices 0..2)
@@ -177,6 +188,13 @@ func Generate(cfg Config) (*Ecosystem, error) {
 	eco.assignPolicies(rng)
 	eco.assignMail(rng)
 	eco.buildBlocklists()
+	if cfg.Faults != nil {
+		fc := *cfg.Faults
+		if fc.Seed == 0 {
+			fc.Seed = cfg.Seed // faults follow the ecosystem seed by default
+		}
+		eco.Faults = faultsim.New(fc)
+	}
 	return eco, nil
 }
 

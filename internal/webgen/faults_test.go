@@ -1,0 +1,55 @@
+package webgen
+
+import (
+	"testing"
+
+	"piileak/internal/faultsim"
+)
+
+func TestGenerateWithoutFaultsHasNoInjector(t *testing.T) {
+	eco := MustGenerate(SmallConfig(11))
+	if eco.Faults != nil {
+		t.Error("fault-free config produced an injector")
+	}
+}
+
+func TestGenerateWiresFaultInjector(t *testing.T) {
+	cfg := SmallConfig(11)
+	cfg.Faults = &faultsim.Config{Rate: 0.5}
+	eco := MustGenerate(cfg)
+	if eco.Faults == nil {
+		t.Fatal("Faults config ignored")
+	}
+	// An unset fault seed defaults to the ecosystem seed, so one -seed
+	// flag reproduces the whole run.
+	if eco.Faults.Seed() != cfg.Seed {
+		t.Errorf("fault seed = %d, want ecosystem seed %d", eco.Faults.Seed(), cfg.Seed)
+	}
+}
+
+func TestGenerateKeepsExplicitFaultSeed(t *testing.T) {
+	cfg := SmallConfig(11)
+	cfg.Faults = &faultsim.Config{Seed: 777, Rate: 0.5}
+	eco := MustGenerate(cfg)
+	if eco.Faults.Seed() != 777 {
+		t.Errorf("fault seed = %d, want 777", eco.Faults.Seed())
+	}
+}
+
+func TestFaultConfigDoesNotPerturbGeneration(t *testing.T) {
+	// Fault injection is a transport concern: the generated ecosystem
+	// (sites, tags, zone) must be identical with and without it.
+	plain := MustGenerate(SmallConfig(11))
+	cfg := SmallConfig(11)
+	cfg.Faults = &faultsim.Config{Rate: 1}
+	faulty := MustGenerate(cfg)
+	if len(plain.Sites) != len(faulty.Sites) {
+		t.Fatalf("site counts differ: %d vs %d", len(plain.Sites), len(faulty.Sites))
+	}
+	for i := range plain.Sites {
+		a, b := plain.Sites[i], faulty.Sites[i]
+		if a.Domain != b.Domain || a.Obstacle != b.Obstacle || len(a.Tags) != len(b.Tags) {
+			t.Fatalf("site %d differs: %s vs %s", i, a.Domain, b.Domain)
+		}
+	}
+}
