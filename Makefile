@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz check clean
+.PHONY: all build test vet fmt race bench fuzz check clean
 
 all: check
 
@@ -10,18 +10,27 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fails (and lists the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
+# Runs the full suite, then records the streaming-pipeline comparison
+# (batch vs streamed at 1/4/8 workers) as test2json event lines in
+# BENCH_pipeline.json — the repo's perf trajectory file.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+	$(GO) test -json -bench '^BenchmarkPipeline$$' -benchmem -run '^$$' . > BENCH_pipeline.json
 
 # Short fuzz smoke for the dataset decoder hardening.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime 10s ./internal/crawler/
 
 # The gate every change must pass.
-check: vet build race
+check: fmt vet build race

@@ -1,6 +1,7 @@
 package piileak
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"piileak/internal/core"
 	"piileak/internal/crawler"
 	"piileak/internal/pii"
+	"piileak/internal/pipeline"
 	"piileak/internal/policy"
 	"piileak/internal/tracking"
 	"piileak/internal/webgen"
@@ -246,6 +248,45 @@ func BenchmarkA3_DecodeVsCandidates(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPipeline compares the batch crawl-then-detect path against
+// the streaming pipeline at 1, 4 and 8 workers over the paper-scale
+// ecosystem. The streamed variants also report the capture high-water
+// mark — the pipeline's peak-memory bound in sites.
+func BenchmarkPipeline(b *testing.B) {
+	s := study(b)
+	eco, profile, det := s.Eco, s.Config.Browser, s.Detector
+
+	b.Run("batch", func(b *testing.B) {
+		var leaks int
+		for i := 0; i < b.N; i++ {
+			ds := crawler.Crawl(eco, profile)
+			var all []core.Leak
+			for _, c := range ds.Successes() {
+				all = append(all, det.DetectSite(c.Domain, c.Records)...)
+			}
+			leaks = len(all)
+		}
+		b.ReportMetric(float64(leaks), "leaks")
+	})
+
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("streamed-%dw", w), func(b *testing.B) {
+			var res *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = pipeline.Run(eco, profile, det, pipeline.Options{
+					CrawlWorkers: w, DetectWorkers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(res.Leaks)), "leaks")
+			b.ReportMetric(float64(res.Stats.CaptureHighWater), "capture_high_water")
+		})
+	}
 }
 
 // BenchmarkFullStudy measures the complete pipeline: ecosystem

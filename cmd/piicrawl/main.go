@@ -5,7 +5,7 @@
 // Usage:
 //
 //	piicrawl [-seed N] [-small] [-browser firefox|chrome|brave] [-o dataset.json]
-//	         [-workers N] [-funnel]
+//	         [-workers N] [-funnel] [-stream]
 //	         [-faults RATE] [-fault-seed N] [-retries N]
 //	         [-checkpoint file] [-resume]
 //
@@ -15,16 +15,29 @@
 // breakers, and partial records instead of dropped sites. -checkpoint
 // persists per-site progress; -resume continues a killed run from that
 // file, producing the same dataset an uninterrupted run would have.
+//
+// -stream fuses crawl and detection into the streaming pipeline:
+// per-site captures are scanned as they complete and released
+// immediately, per-stage progress counters go to stderr, and the output
+// is the detected leak list (identical to piidetect's over a full
+// dataset) instead of the dataset — the captures are never all in
+// memory, so there is no dataset to write.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"piileak/internal/browser"
+	"piileak/internal/core"
 	"piileak/internal/crawler"
+	"piileak/internal/dnssim"
 	"piileak/internal/faultsim"
+	"piileak/internal/pii"
+	"piileak/internal/pipeline"
 	"piileak/internal/resilience"
 	"piileak/internal/webgen"
 )
@@ -41,6 +54,7 @@ func main() {
 	retries := flag.Int("retries", 0, "max fetch attempts per request under faults (default 4)")
 	checkpoint := flag.String("checkpoint", "", "write per-site progress to this file")
 	resume := flag.Bool("resume", false, "resume a previous run from -checkpoint")
+	stream := flag.Bool("stream", false, "fuse crawl+detect: stream captures through detection, output leaks")
 	flag.Parse()
 
 	cfg := webgen.DefaultConfig()
@@ -81,12 +95,19 @@ func main() {
 		fatal(fmt.Errorf("unknown browser %q", *browserName))
 	}
 
-	ds, err := crawler.CrawlOpts(eco, profile, crawler.Options{
-		Workers:        *workers,
+	copts := crawler.Options{
 		Policy:         resilience.Policy{MaxAttempts: *retries},
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
-	})
+	}
+
+	if *stream {
+		streamRun(eco, profile, copts, *workers, *out, *funnel, *faults > 0)
+		return
+	}
+
+	copts.Workers = *workers
+	ds, err := crawler.CrawlOpts(eco, profile, copts)
 	if err != nil {
 		fatal(err)
 	}
@@ -118,6 +139,76 @@ func main() {
 		return
 	}
 	if err := ds.WriteJSON(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// streamRun executes the fused crawl+detect pipeline and writes the
+// detected leaks (indented JSON, same shape as Study.WriteLeaksJSON).
+func streamRun(eco *webgen.Ecosystem, profile browser.Profile, copts crawler.Options, workers int, out string, funnel, faulty bool) {
+	cs, err := pii.BuildCandidates(eco.Persona, pii.CandidateConfig{MaxDepth: 2})
+	if err != nil {
+		fatal(err)
+	}
+	det := core.NewDetector(cs, dnssim.NewClassifier(eco.Zone))
+
+	crawled := 0
+	res, err := pipeline.Run(eco, profile, det, pipeline.Options{
+		CrawlWorkers:  workers,
+		DetectWorkers: workers,
+		Crawl:         copts,
+		Progress: func(ev pipeline.Event) {
+			if ev.Stage == "crawl" {
+				crawled = ev.Done
+				return
+			}
+			if ev.Done%25 == 0 || ev.Done == ev.Total {
+				fmt.Fprintf(os.Stderr, "piicrawl: crawl %d/%d  detect %d/%d  leaks %d\n",
+					crawled, ev.Total, ev.Done, ev.Total, ev.Leaks)
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if funnel {
+		ds := res.Dataset
+		counts := ds.FunnelCounts()
+		fmt.Fprintf(os.Stderr, "sites: %d  success: %d  unreachable: %d  no-auth: %d  signup-blocked: %d  captcha: %d  partial: %d\n",
+			len(ds.Crawls), counts[crawler.OutcomeSuccess], counts[crawler.OutcomeUnreachable],
+			counts[crawler.OutcomeNoAuthFlow], counts[crawler.OutcomeSignupBlocked],
+			counts[crawler.OutcomeCaptcha], counts[crawler.OutcomePartial])
+		fmt.Fprintf(os.Stderr, "records: %d  inbox mails: %d  spam mails: %d  capture high-water: %d sites\n",
+			res.TotalRecords, ds.Mailbox.Count("inbox"), ds.Mailbox.Count("spam"), res.Stats.CaptureHighWater)
+		if faulty {
+			attempts, retried, failed := 0, 0, 0
+			for _, c := range ds.Crawls {
+				attempts += c.Attempts
+				retried += c.Retries
+				failed += c.FailedFetches
+			}
+			fmt.Fprintf(os.Stderr, "fetch attempts: %d  retries: %d  failed fetches: %d\n",
+				attempts, retried, failed)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(res.Leaks); err != nil {
 		fatal(err)
 	}
 }

@@ -36,9 +36,15 @@ func main() {
 	leaksOut := flag.String("leaks", "", "also write the raw leak records as JSON to this path")
 	flag.Parse()
 
+	// Sites are kept as an ordered slice (dataset order), not a map:
+	// the -leaks output must be deterministic across runs.
+	type siteRecords struct {
+		domain  string
+		records []httpmodel.Record
+	}
 	var (
 		persona pii.Persona
-		sites   map[string][]httpmodel.Record
+		sites   []siteRecords
 		nSites  int
 		zone    = dnssim.NewZone()
 	)
@@ -62,7 +68,7 @@ func main() {
 				fatal(fmt.Errorf("parsing persona: %w", err))
 			}
 		}
-		sites = map[string][]httpmodel.Record{*siteDomain: records}
+		sites = []siteRecords{{*siteDomain, records}}
 		nSites = 1
 	default:
 		var ds *crawler.Dataset
@@ -77,9 +83,8 @@ func main() {
 		}
 		persona = ds.Persona
 		zone = ds.Zone()
-		sites = map[string][]httpmodel.Record{}
 		for _, c := range ds.Successes() {
-			sites[c.Domain] = c.Records
+			sites = append(sites, siteRecords{c.Domain, c.Records})
 		}
 		nSites = len(sites)
 	}
@@ -91,8 +96,8 @@ func main() {
 	det := core.NewDetector(cs, dnssim.NewClassifier(zone))
 
 	var leaks []core.Leak
-	for domain, records := range sites {
-		leaks = append(leaks, det.DetectSite(domain, records)...)
+	for _, s := range sites {
+		leaks = append(leaks, det.DetectSite(s.domain, s.records)...)
 	}
 	a := core.Analyze(leaks, nSites)
 

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	piirepro [-seed N] [-small] [-experiments E1,E6,E10]
+//	piirepro [-seed N] [-small] [-experiments E1,E6,E10] [-stream] [-workers N]
+//
+// -stream runs the fused crawl+detect pipeline: captures are released
+// after detection (peak memory stays bounded), every table is identical
+// to the batch run's, and the few ablations that rescan raw captures
+// (A1, A2, A3, A5) are skipped with a note.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"strings"
 
 	"piileak"
+	"piileak/internal/pipeline"
 )
 
 func main() {
@@ -22,6 +28,8 @@ func main() {
 	small := flag.Bool("small", false, "use the scaled-down ecosystem")
 	only := flag.String("experiments", "", "comma-separated experiment IDs (default: all)")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable summary instead of text reports")
+	stream := flag.Bool("stream", false, "fuse crawl+detect and release captures after detection")
+	workers := flag.Int("workers", 0, "parallel crawl/detect workers (0 = serial)")
 	flag.Parse()
 
 	cfg := piileak.DefaultConfig()
@@ -29,6 +37,7 @@ func main() {
 		cfg = piileak.SmallConfig(*seed)
 	}
 	cfg.Ecosystem.Seed = *seed
+	cfg.Workers = *workers
 
 	study, err := piileak.NewStudy(cfg)
 	if err != nil {
@@ -36,11 +45,28 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "piirepro: crawling %d candidate sites with %s...\n",
 		len(study.Eco.Sites), cfg.Browser.Name)
-	if err := study.Run(); err != nil {
+	if *stream {
+		crawled := 0
+		err = study.RunStream(pipeline.Options{
+			Progress: func(ev pipeline.Event) {
+				if ev.Stage == "crawl" {
+					crawled = ev.Done
+					return
+				}
+				if ev.Done%25 == 0 || ev.Done == ev.Total {
+					fmt.Fprintf(os.Stderr, "piirepro: crawl %d/%d  detect %d/%d  leaks %d\n",
+						crawled, ev.Total, ev.Done, ev.Total, ev.Leaks)
+				}
+			},
+		})
+	} else {
+		err = study.Run()
+	}
+	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "piirepro: %d records captured, %d leaks detected\n",
-		study.Dataset.TotalRecords(), len(study.Leaks))
+		study.TotalRecords(), len(study.Leaks))
 
 	if *jsonOut {
 		if err := study.WriteSummaryJSON(os.Stdout); err != nil {
@@ -59,6 +85,10 @@ func main() {
 	failed := false
 	for _, e := range piileak.Experiments() {
 		if len(wanted) > 0 && !wanted[e.ID] {
+			continue
+		}
+		if *stream && e.NeedsCaptures && !wanted[e.ID] {
+			fmt.Printf("==== %s — %s ====\n\nSKIPPED: rescans raw captures, which the streamed run released\n\n", e.ID, e.Title)
 			continue
 		}
 		fmt.Printf("==== %s — %s ====\n\n", e.ID, e.Title)

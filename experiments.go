@@ -25,6 +25,10 @@ type Experiment struct {
 	// Run renders the regenerated artifact with a paper-vs-measured
 	// comparison.
 	Run func(*Study) (string, error)
+	// NeedsCaptures marks experiments that rescan the raw captured
+	// records; a streamed study released them, so these refuse to run
+	// (and piirepro -stream skips them).
+	NeedsCaptures bool
 }
 
 // Experiments returns the full registry, in DESIGN.md order: the
@@ -32,20 +36,20 @@ type Experiment struct {
 // and the extension experiments (X1-X4).
 func Experiments() []Experiment {
 	return append([]Experiment{
-		{"E0", "§3.2 collection funnel", runE0},
-		{"E1", "§4.2 headline leakage statistics", runE1},
-		{"E2", "Table 1a — leakage by method", runE2},
-		{"E3", "Table 1b — leakage by encoding/hashing", runE3},
-		{"E4", "Table 1c — leakage by PII type", runE4},
-		{"E5", "Figure 2 — top third-party receivers", runE5},
-		{"E6", "Table 2 — persistent-tracking providers", runE6},
-		{"E7", "§4.2.3 — marketing e-mail follow-up", runE7},
-		{"E8", "Table 3 — privacy-policy disclosures", runE8},
-		{"E9", "§7.1 — browser countermeasures", runE9},
-		{"E10", "Table 4 — blocklist countermeasures", runE10},
-		{"A1", "Ablation — candidate-set depth", runA1},
-		{"A2", "Ablation — token-matching strategy", runA2},
-		{"A3", "Ablation — decode-based vs candidate-set detection", runA3},
+		{"E0", "§3.2 collection funnel", runE0, false},
+		{"E1", "§4.2 headline leakage statistics", runE1, false},
+		{"E2", "Table 1a — leakage by method", runE2, false},
+		{"E3", "Table 1b — leakage by encoding/hashing", runE3, false},
+		{"E4", "Table 1c — leakage by PII type", runE4, false},
+		{"E5", "Figure 2 — top third-party receivers", runE5, false},
+		{"E6", "Table 2 — persistent-tracking providers", runE6, false},
+		{"E7", "§4.2.3 — marketing e-mail follow-up", runE7, false},
+		{"E8", "Table 3 — privacy-policy disclosures", runE8, false},
+		{"E9", "§7.1 — browser countermeasures", runE9, false},
+		{"E10", "Table 4 — blocklist countermeasures", runE10, false},
+		{"A1", "Ablation — candidate-set depth", runA1, true},
+		{"A2", "Ablation — token-matching strategy", runA2, true},
+		{"A3", "Ablation — decode-based vs candidate-set detection", runA3, true},
 	}, extraExperiments...)
 }
 
@@ -310,6 +314,9 @@ func runA1(s *Study) (string, error) {
 	if err := s.mustRun(); err != nil {
 		return "", err
 	}
+	if err := s.requireCaptures("A1"); err != nil {
+		return "", err
+	}
 	baseline := len(s.Leaks)
 	var rows [][]string
 	for depth := 1; depth <= 3; depth++ {
@@ -349,6 +356,9 @@ func runA1(s *Study) (string, error) {
 // search on the study's own traffic.
 func runA2(s *Study) (string, error) {
 	if err := s.mustRun(); err != nil {
+		return "", err
+	}
+	if err := s.requireCaptures("A2"); err != nil {
 		return "", err
 	}
 	// Sample surfaces from the dataset.
@@ -397,6 +407,9 @@ func runA2(s *Study) (string, error) {
 // iterative decoding) against the full candidate-set detector.
 func runA3(s *Study) (string, error) {
 	if err := s.mustRun(); err != nil {
+		return "", err
+	}
+	if err := s.requireCaptures("A3"); err != nil {
 		return "", err
 	}
 	hashOnly, err := pii.BuildCandidates(s.Eco.Persona, pii.CandidateConfig{

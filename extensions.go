@@ -25,12 +25,12 @@ import (
 
 func init() {
 	extraExperiments = []Experiment{
-		{"X1", "Extension — cross-browser identifier linkage (§5.1)", runX1},
-		{"X2", "Extension — crowdsourced collection (paper's future work)", runX2},
-		{"X3", "Extension — tracker-side profile reconstruction (Figure 3)", runX3},
-		{"X4", "Extension — automated vs manual collection (§3.2)", runX4},
-		{"A4", "Ablation — Brave shields without CNAME uncloaking", runA4},
-		{"A5", "Ablation — minimum candidate-token length vs false positives", runA5},
+		{"X1", "Extension — cross-browser identifier linkage (§5.1)", runX1, false},
+		{"X2", "Extension — crowdsourced collection (paper's future work)", runX2, false},
+		{"X3", "Extension — tracker-side profile reconstruction (Figure 3)", runX3, false},
+		{"X4", "Extension — automated vs manual collection (§3.2)", runX4, false},
+		{"A4", "Ablation — Brave shields without CNAME uncloaking", runA4, false},
+		{"A5", "Ablation — minimum candidate-token length vs false positives", runA5, true},
 	}
 }
 
@@ -41,6 +41,9 @@ func init() {
 // the matches the default (8) configuration rejects.
 func runA5(s *Study) (string, error) {
 	if err := s.mustRun(); err != nil {
+		return "", err
+	}
+	if err := s.requireCaptures("A5"); err != nil {
 		return "", err
 	}
 	short, err := pii.BuildCandidates(s.Eco.Persona, pii.CandidateConfig{

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 
@@ -9,9 +8,12 @@ import (
 	"piileak/internal/pii"
 )
 
-// Analysis aggregates detected leaks into the paper's §4.2 figures.
+// Analysis is the §4.2 aggregate view over detected leaks. It is built
+// by an Accumulator (incrementally, leak by leak) and holds only the
+// per-entity indexes the paper's tables need; its methods are pure views
+// over those indexes and never rescan the Leaks slice.
 type Analysis struct {
-	// Leaks is the input, unmodified.
+	// Leaks is the input, carried unmodified for export.
 	Leaks []Leak
 	// TotalSites is the crawled-site population (307), for the
 	// headline leak rate.
@@ -29,38 +31,27 @@ type Analysis struct {
 	// LeakyRequests is the number of distinct requests containing
 	// leaked PII (the paper's 1,522).
 	LeakyRequests int
+
+	// Per-entity view indexes, maintained by the Accumulator.
+	senderMethods    map[string]map[httpmodel.SurfaceKind]bool
+	receiverMethods  map[string]map[httpmodel.SurfaceKind]bool
+	senderLabels     map[string]map[string]bool
+	receiverLabels   map[string]map[string]bool
+	senderTypes      map[string]map[pii.Type]bool
+	receiverTypes    map[string]map[pii.Type]bool
+	cloakedReceivers map[string]bool
 }
 
-// Analyze builds the aggregate view.
+// Analyze builds the aggregate view in one batch pass: it feeds a fresh
+// Accumulator and finalizes it. Streaming callers use the Accumulator
+// directly instead.
 func Analyze(leaks []Leak, totalSites int) *Analysis {
-	a := &Analysis{
-		Leaks:           leaks,
-		TotalSites:      totalSites,
-		SenderReceivers: map[string]map[string]bool{},
-		ReceiverSenders: map[string]map[string]bool{},
+	acc := NewAccumulator()
+	acc.AddSites(totalSites)
+	for i := range leaks {
+		acc.Add(&leaks[i])
 	}
-	requests := map[string]bool{}
-	for _, l := range leaks {
-		if a.SenderReceivers[l.Site] == nil {
-			a.SenderReceivers[l.Site] = map[string]bool{}
-		}
-		a.SenderReceivers[l.Site][l.Receiver] = true
-		if a.ReceiverSenders[l.Receiver] == nil {
-			a.ReceiverSenders[l.Receiver] = map[string]bool{}
-		}
-		a.ReceiverSenders[l.Receiver][l.Site] = true
-		requests[fmt.Sprintf("%s#%d", l.Site, l.Seq)] = true
-	}
-	a.LeakyRequests = len(requests)
-	for s := range a.SenderReceivers {
-		a.Senders = append(a.Senders, s)
-	}
-	for r := range a.ReceiverSenders {
-		a.Receivers = append(a.Receivers, r)
-	}
-	sort.Strings(a.Senders)
-	sort.Strings(a.Receivers)
-	return a
+	return acc.Finalize(leaks)
 }
 
 // Headline carries the §4.2 opening statistics.
@@ -125,28 +116,15 @@ func (a *Analysis) row(label string, senders, receivers map[string]bool) Breakdo
 // the multi-channel "combined" row. Rows overlap (a sender using two
 // channels appears in both), exactly as in the paper.
 func (a *Analysis) ByMethod() []BreakdownRow {
-	senderMethods := map[string]map[httpmodel.SurfaceKind]bool{}
-	receiverMethods := map[string]map[httpmodel.SurfaceKind]bool{}
-	for _, l := range a.Leaks {
-		if senderMethods[l.Site] == nil {
-			senderMethods[l.Site] = map[httpmodel.SurfaceKind]bool{}
-		}
-		senderMethods[l.Site][l.Method] = true
-		if receiverMethods[l.Receiver] == nil {
-			receiverMethods[l.Receiver] = map[httpmodel.SurfaceKind]bool{}
-		}
-		receiverMethods[l.Receiver][l.Method] = true
-	}
-
 	var rows []BreakdownRow
 	for _, m := range httpmodel.AllSurfaceKinds {
 		s, r := map[string]bool{}, map[string]bool{}
-		for sender, ms := range senderMethods {
+		for sender, ms := range a.senderMethods {
 			if ms[m] {
 				s[sender] = true
 			}
 		}
-		for recv, ms := range receiverMethods {
+		for recv, ms := range a.receiverMethods {
 			if ms[m] {
 				r[recv] = true
 			}
@@ -154,12 +132,12 @@ func (a *Analysis) ByMethod() []BreakdownRow {
 		rows = append(rows, a.row(methodLabel(m), s, r))
 	}
 	s, r := map[string]bool{}, map[string]bool{}
-	for sender, ms := range senderMethods {
+	for sender, ms := range a.senderMethods {
 		if len(ms) >= 2 {
 			s[sender] = true
 		}
 	}
-	for recv, ms := range receiverMethods {
+	for recv, ms := range a.receiverMethods {
 		if len(ms) >= 2 {
 			r[recv] = true
 		}
@@ -189,20 +167,6 @@ var Table1bOrder = []string{"plaintext", "base64", "md5", "sha1", "sha256", "sha
 // encoding/hash label, the long tail folded into "other", plus the
 // multi-encoding "combined" row.
 func (a *Analysis) ByEncoding() []BreakdownRow {
-	senderLabels := map[string]map[string]bool{}
-	receiverLabels := map[string]map[string]bool{}
-	for _, l := range a.Leaks {
-		lab := l.EncodingLabel()
-		if senderLabels[l.Site] == nil {
-			senderLabels[l.Site] = map[string]bool{}
-		}
-		senderLabels[l.Site][lab] = true
-		if receiverLabels[l.Receiver] == nil {
-			receiverLabels[l.Receiver] = map[string]bool{}
-		}
-		receiverLabels[l.Receiver][lab] = true
-	}
-
 	known := map[string]bool{}
 	for _, lab := range Table1bOrder {
 		known[lab] = true
@@ -211,12 +175,12 @@ func (a *Analysis) ByEncoding() []BreakdownRow {
 	var rows []BreakdownRow
 	for _, lab := range Table1bOrder {
 		s, r := map[string]bool{}, map[string]bool{}
-		for sender, ls := range senderLabels {
+		for sender, ls := range a.senderLabels {
 			if ls[lab] {
 				s[sender] = true
 			}
 		}
-		for recv, ls := range receiverLabels {
+		for recv, ls := range a.receiverLabels {
 			if ls[lab] {
 				r[recv] = true
 			}
@@ -225,14 +189,14 @@ func (a *Analysis) ByEncoding() []BreakdownRow {
 	}
 	// Fold unexpected labels into "other" so nothing is silently lost.
 	s, r := map[string]bool{}, map[string]bool{}
-	for sender, ls := range senderLabels {
+	for sender, ls := range a.senderLabels {
 		for lab := range ls {
 			if !known[lab] {
 				s[sender] = true
 			}
 		}
 	}
-	for recv, ls := range receiverLabels {
+	for recv, ls := range a.receiverLabels {
 		for lab := range ls {
 			if !known[lab] {
 				r[recv] = true
@@ -243,12 +207,12 @@ func (a *Analysis) ByEncoding() []BreakdownRow {
 		rows = append(rows, a.row("other", s, r))
 	}
 	s, r = map[string]bool{}, map[string]bool{}
-	for sender, ls := range senderLabels {
+	for sender, ls := range a.senderLabels {
 		if len(ls) >= 2 {
 			s[sender] = true
 		}
 	}
-	for recv, ls := range receiverLabels {
+	for recv, ls := range a.receiverLabels {
 		if len(ls) >= 2 {
 			r[recv] = true
 		}
@@ -260,19 +224,6 @@ func (a *Analysis) ByEncoding() []BreakdownRow {
 // ByPIIType reproduces Table 1c: senders/receivers bucketed by the *set*
 // of PII types they leak/receive.
 func (a *Analysis) ByPIIType() []BreakdownRow {
-	senderTypes := map[string]map[pii.Type]bool{}
-	receiverTypes := map[string]map[pii.Type]bool{}
-	for _, l := range a.Leaks {
-		if senderTypes[l.Site] == nil {
-			senderTypes[l.Site] = map[pii.Type]bool{}
-		}
-		senderTypes[l.Site][l.Token.Field.Type] = true
-		if receiverTypes[l.Receiver] == nil {
-			receiverTypes[l.Receiver] = map[pii.Type]bool{}
-		}
-		receiverTypes[l.Receiver][l.Token.Field.Type] = true
-	}
-
 	bucket := func(ts map[pii.Type]bool) string {
 		var names []string
 		for t := range ts {
@@ -283,14 +234,14 @@ func (a *Analysis) ByPIIType() []BreakdownRow {
 	}
 	senderBuckets := map[string]map[string]bool{}
 	receiverBuckets := map[string]map[string]bool{}
-	for sender, ts := range senderTypes {
+	for sender, ts := range a.senderTypes {
 		b := bucket(ts)
 		if senderBuckets[b] == nil {
 			senderBuckets[b] = map[string]bool{}
 		}
 		senderBuckets[b][sender] = true
 	}
-	for recv, ts := range receiverTypes {
+	for recv, ts := range a.receiverTypes {
 		b := bucket(ts)
 		if receiverBuckets[b] == nil {
 			receiverBuckets[b] = map[string]bool{}
@@ -337,15 +288,9 @@ type ReceiverRank struct {
 // TopReceivers reproduces Figure 2: the top-n receiver domains by the
 // number of distinct senders.
 func (a *Analysis) TopReceivers(n int) []ReceiverRank {
-	cloaked := map[string]bool{}
-	for _, l := range a.Leaks {
-		if l.Cloaked {
-			cloaked[l.Receiver] = true
-		}
-	}
 	ranks := make([]ReceiverRank, 0, len(a.ReceiverSenders))
 	for recv, senders := range a.ReceiverSenders {
-		r := ReceiverRank{Receiver: recv, Senders: len(senders), Cloaked: cloaked[recv]}
+		r := ReceiverRank{Receiver: recv, Senders: len(senders), Cloaked: a.cloakedReceivers[recv]}
 		if len(a.Senders) > 0 {
 			r.SenderPct = 100 * float64(r.Senders) / float64(len(a.Senders))
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -399,5 +401,70 @@ func TestAnalysisInvariants(t *testing.T) {
 	h := a.Headline()
 	if h.Senders != total || h.Receivers != len(a.Receivers) {
 		t.Errorf("headline inconsistent: %+v", h)
+	}
+}
+
+func TestDecodeDetectStableOrder(t *testing.T) {
+	// A record leaking the same persona on several surfaces: the output
+	// must be sorted by (method, param, token) and identical on every
+	// call — the A3 ablation diffs this list, so insertion order (which
+	// depends on surface iteration) must never show through.
+	d := testDetector(t, nil)
+	p := pii.Default()
+	rec := httpmodel.Record{
+		Seq: 3, Phase: httpmodel.PhaseSignup,
+		Request: httpmodel.Request{
+			Method: "GET",
+			URL:    "https://t.tracker.net/c?em=" + p.Email + "&ph=" + p.Phone,
+			Headers: map[string]string{
+				"Referer": "https://www.shop.example.com/signup?email=" + p.Email,
+			},
+		},
+	}
+	leaks := d.DecodeDetect("shop.example.com", &rec, 2)
+	if len(leaks) < 3 {
+		t.Fatalf("leaks = %d, want >= 3 (two query params + referer): %+v", len(leaks), leaks)
+	}
+	if !sort.SliceIsSorted(leaks, func(a, b int) bool {
+		if leaks[a].Method != leaks[b].Method {
+			return leaks[a].Method < leaks[b].Method
+		}
+		if leaks[a].Param != leaks[b].Param {
+			return leaks[a].Param < leaks[b].Param
+		}
+		return leaks[a].Token.Value < leaks[b].Token.Value
+	}) {
+		t.Errorf("DecodeDetect output not sorted by (method, param, token): %+v", leaks)
+	}
+	for i := 0; i < 10; i++ {
+		again := d.DecodeDetect("shop.example.com", &rec, 2)
+		if !reflect.DeepEqual(leaks, again) {
+			t.Fatalf("DecodeDetect unstable on call %d", i)
+		}
+	}
+}
+
+func TestAccumulatorMatchesAnalyze(t *testing.T) {
+	// Folding leaks one at a time in a scrambled order must finalize to
+	// exactly the batch Analyze over the same list.
+	leaks := []Leak{
+		{Site: "a.com", Receiver: "fb.com", Method: httpmodel.SurfaceURI, Seq: 1},
+		{Site: "b.com", Receiver: "fb.com", Method: httpmodel.SurfaceBody, Seq: 2},
+		{Site: "a.com", Receiver: "crit.eo", Method: httpmodel.SurfaceReferer, Seq: 3, Cloaked: true},
+		{Site: "c.com", Receiver: "adnxs.com", Method: httpmodel.SurfaceCookie, Seq: 1},
+	}
+	acc := NewAccumulator()
+	for _, i := range []int{2, 0, 3, 1} {
+		acc.Add(&leaks[i])
+	}
+	acc.AddSites(7)
+	got := acc.Finalize(leaks)
+	want := Analyze(leaks, 7)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("accumulator diverges from Analyze:\n%+v\n%+v", got, want)
+	}
+	senders := acc.SenderSet()
+	if len(senders) != 3 || !senders["a.com"] || !senders["b.com"] || !senders["c.com"] {
+		t.Errorf("SenderSet = %v", senders)
 	}
 }

@@ -190,6 +190,18 @@ func (d *Detector) DecodeDetect(siteDomain string, rec *httpmodel.Record, maxDep
 	for _, s := range httpmodel.Surfaces(&rec.Request) {
 		scanData(s, s.Data, 0)
 	}
-	sort.SliceStable(out, func(a, b int) bool { return out[a].Token.Value < out[b].Token.Value })
+	// Sort by (method, param, token): the token value alone ties when
+	// the same token surfaces on two channels, leaving the order to
+	// surface-iteration insertion order — (method, param) breaks the
+	// tie deterministically for the A3 ablation output.
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Method != out[b].Method {
+			return out[a].Method < out[b].Method
+		}
+		if out[a].Param != out[b].Param {
+			return out[a].Param < out[b].Param
+		}
+		return out[a].Token.Value < out[b].Token.Value
+	})
 	return out
 }

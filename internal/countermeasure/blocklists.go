@@ -90,54 +90,29 @@ func hostOf(rawURL string) string {
 	return r.Host()
 }
 
-// initiatorChain walks Initiator links through a site's records,
-// returning the requests that led to the one with the given sequence
-// number.
-func initiatorChain(records []httpmodel.Record, seq int) []httpmodel.Request {
-	byURL := map[string]*httpmodel.Record{}
-	var start *httpmodel.Record
-	for i := range records {
-		r := &records[i]
-		byURL[r.Request.URL] = r
-		if r.Seq == seq {
-			start = r
-		}
+// EvaluateBlocklists reproduces Table 4 from a full crawl dataset: it
+// reduces the captures to a request index and delegates to the indexed
+// evaluation.
+func EvaluateBlocklists(leaks []core.Leak, ds *crawler.Dataset, lists ListSet, trackers []string) *Table4 {
+	ix := httpmodel.NewRequestIndex()
+	for i := range ds.Crawls {
+		ix.AddSite(ds.Crawls[i].Domain, ds.Crawls[i].Records)
 	}
-	if start == nil {
-		return nil
-	}
-	var chain []httpmodel.Request
-	cur := start
-	for depth := 0; depth < 8; depth++ {
-		init := cur.Request.Initiator
-		if init == "" {
-			break
-		}
-		next, ok := byURL[init]
-		if !ok || next == cur {
-			break
-		}
-		chain = append(chain, next.Request)
-		cur = next
-	}
-	return chain
+	return EvaluateBlocklistsIndexed(leaks, ix, lists, trackers)
 }
 
-// EvaluateBlocklists reproduces Table 4: for each (metric, method) cell
-// it counts the senders (receivers) whose every leak through that
-// channel would have been blocked by EasyList alone, EasyPrivacy alone,
-// and both combined.
-func EvaluateBlocklists(leaks []core.Leak, ds *crawler.Dataset, lists ListSet, trackers []string) *Table4 {
+// EvaluateBlocklistsIndexed reproduces Table 4 over a reduced request
+// index: for each (metric, method) cell it counts the senders
+// (receivers) whose every leak through that channel would have been
+// blocked by EasyList alone, EasyPrivacy alone, and both combined. The
+// streaming pipeline calls this form — it retains only the reduced
+// index, never the full captures.
+func EvaluateBlocklistsIndexed(leaks []core.Leak, ix *httpmodel.RequestIndex, lists ListSet, trackers []string) *Table4 {
 	pslList := psl.Default()
 	engines := map[string]*blocklist.Engine{
 		"el":       blocklist.NewEngine(lists.EasyList),
 		"ep":       blocklist.NewEngine(lists.EasyPrivacy),
 		"combined": blocklist.NewEngine(lists.EasyList, lists.EasyPrivacy),
-	}
-
-	siteRecords := map[string][]httpmodel.Record{}
-	for i := range ds.Crawls {
-		siteRecords[ds.Crawls[i].Domain] = ds.Crawls[i].Records
 	}
 
 	// Per leak, per engine: blocked?
@@ -148,7 +123,7 @@ func EvaluateBlocklists(leaks []core.Leak, ds *crawler.Dataset, lists ListSet, t
 	verdicts := make([]leakVerdict, 0, len(leaks))
 	for i := range leaks {
 		l := &leaks[i]
-		chain := initiatorChain(siteRecords[l.Site], l.Seq)
+		chain := ix.Chain(l.Site, l.Seq)
 		v := leakVerdict{leak: l, blocked: map[string]bool{}}
 		for name, eng := range engines {
 			v.blocked[name] = leakBlocked(eng, l, chain, pslList, "www."+l.Site)

@@ -7,6 +7,7 @@ import (
 	"piileak/internal/core"
 	"piileak/internal/crawler"
 	"piileak/internal/dnssim"
+	"piileak/internal/httpmodel"
 	"piileak/internal/pii"
 	"piileak/internal/webgen"
 )
@@ -142,17 +143,14 @@ func TestInitiatorChain(t *testing.T) {
 		t.Fatal("no leaks")
 	}
 	// Find a leak whose request has an initiator; its chain must lead
-	// to the tag load.
+	// to the tag load through the reduced request index.
+	ix := httpmodel.NewRequestIndex()
 	for i := range ds.Crawls {
-		c := &ds.Crawls[i]
-		for _, l := range leaks {
-			if l.Site != c.Domain {
-				continue
-			}
-			chain := initiatorChain(c.Records, l.Seq)
-			if len(chain) > 0 {
-				return // found a working chain
-			}
+		ix.AddSite(ds.Crawls[i].Domain, ds.Crawls[i].Records)
+	}
+	for _, l := range leaks {
+		if chain := ix.Chain(l.Site, l.Seq); len(chain) > 0 {
+			return // found a working chain
 		}
 	}
 	t.Error("no leak produced an initiator chain")

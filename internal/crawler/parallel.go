@@ -2,7 +2,6 @@ package crawler
 
 import (
 	"runtime"
-	"sync"
 
 	"piileak/internal/browser"
 	"piileak/internal/site"
@@ -22,80 +21,26 @@ func CrawlParallel(eco *webgen.Ecosystem, profile browser.Profile, workers int) 
 	return ds
 }
 
+// crawlParallel runs the streaming engine with a worker pool and
+// collects emissions into site-index slots, then merges them in site
+// order — which is what keeps the dataset byte-identical to serial.
+// Each index is emitted exactly once, so the concurrent slot writes
+// never race.
 func crawlParallel(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, workers int, opts Options) (*Dataset, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(sites) {
-		workers = len(sites)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	inj := injectorFor(eco, opts)
-
-	var ckpt *Checkpoint
-	if opts.CheckpointPath != "" {
-		var err error
-		ckpt, err = OpenCheckpoint(opts.CheckpointPath, eco, profile, opts.Resume)
-		if err != nil {
-			return nil, err
-		}
-		defer ckpt.Close()
-	}
-
 	results := make([]crawlEntry, len(sites))
-	done := make([]bool, len(sites))
-	for i, s := range sites {
-		if e, ok := ckpt.lookup(s.Domain); ok {
-			results[i] = e
-			done[i] = true
-		}
+	err := streamCrawl(eco, profile, sites, workers, opts, func(i int, e crawlEntry) error {
+		results[i] = e
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	var (
-		wg      sync.WaitGroup
-		errOnce sync.Once
-		firstEr error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			b := browser.New(profile, eco.Zone)
-			for i := range next {
-				e := crawlEntryFor(b, eco, sites[i], newFaultTransport(eco, inj, opts.Policy))
-				if ckpt != nil {
-					if err := ckpt.Append(e); err != nil {
-						errOnce.Do(func() { firstEr = err })
-					}
-				}
-				results[i] = e
-				b.Reset()
-			}
-		}()
-	}
-	for i := range sites {
-		if !done[i] {
-			next <- i
-		}
-	}
-	close(next)
-	wg.Wait()
-	if firstEr != nil {
-		return nil, firstEr
-	}
-
 	ds := newDataset(eco, profile.Name+" "+profile.Version)
 	for i := range results {
 		ds.merge(results[i])
-	}
-	if ckpt != nil {
-		if err := ckpt.Close(); err != nil {
-			return nil, err
-		}
 	}
 	return ds, nil
 }

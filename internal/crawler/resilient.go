@@ -166,40 +166,16 @@ func (d *Dataset) merge(e crawlEntry) {
 }
 
 // crawlSerial is the single-browser loop behind Crawl/CrawlSites and
-// the checkpointing/resilient paths.
+// the checkpointing/resilient paths, built on the streaming engine:
+// serial emissions arrive in site order, so they merge directly.
 func crawlSerial(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, opts Options) (*Dataset, error) {
-	inj := injectorFor(eco, opts)
 	ds := newDataset(eco, profile.Name+" "+profile.Version)
-
-	var ckpt *Checkpoint
-	if opts.CheckpointPath != "" {
-		var err error
-		ckpt, err = OpenCheckpoint(opts.CheckpointPath, eco, profile, opts.Resume)
-		if err != nil {
-			return nil, err
-		}
-		defer ckpt.Close()
-	}
-
-	b := browser.New(profile, eco.Zone)
-	for _, s := range sites {
-		if e, ok := ckpt.lookup(s.Domain); ok {
-			ds.merge(e)
-			continue
-		}
-		e := crawlEntryFor(b, eco, s, newFaultTransport(eco, inj, opts.Policy))
-		if ckpt != nil {
-			if err := ckpt.Append(e); err != nil {
-				return nil, err
-			}
-		}
+	err := streamCrawl(eco, profile, sites, 1, opts, func(_ int, e crawlEntry) error {
 		ds.merge(e)
-		b.Reset()
-	}
-	if ckpt != nil {
-		if err := ckpt.Close(); err != nil {
-			return nil, err
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ds, nil
 }

@@ -1,0 +1,177 @@
+package crawler
+
+import (
+	"sync"
+
+	"piileak/internal/browser"
+	"piileak/internal/mailbox"
+	"piileak/internal/site"
+	"piileak/internal/webgen"
+)
+
+// This file is the streaming crawl engine: one site-at-a-time emission
+// loop that crawlSerial, crawlParallel and the exported CrawlStream are
+// all built on. The batch paths collect emissions into a Dataset; the
+// streaming study pipeline instead forwards each emission straight into
+// detection so captures never pile up.
+
+// SiteResult is one completed site crawl as emitted by CrawlStream: the
+// crawl record plus the mail and shield-block side effects that must
+// travel with it, and the site's index in the crawl order so downstream
+// consumers can reassemble deterministic output regardless of the order
+// completions arrive in.
+type SiteResult struct {
+	Index   int
+	Crawl   SiteCrawl
+	Mail    []mailbox.Message
+	Blocked map[string]int
+}
+
+// CrawlStream runs the crawl and hands each completed site to emit
+// instead of assembling a Dataset. With Workers <= 1 the crawl is
+// serial and emissions arrive in site order; with more workers, emit is
+// called from the worker goroutines in completion order and must be
+// safe for concurrent use. A blocking emit exerts backpressure: the
+// worker holds its finished site until emit returns, so a bounded
+// consumer bounds the number of captures in flight. An emit error stops
+// the crawl. Checkpointing works exactly as in CrawlOpts: sites already
+// in the checkpoint are emitted first, in site order, without
+// re-crawling.
+func CrawlStream(eco *webgen.Ecosystem, profile browser.Profile, opts Options, emit func(SiteResult) error) error {
+	sites := opts.Sites
+	if sites == nil {
+		sites = eco.Sites
+	}
+	return streamCrawl(eco, profile, sites, opts.Workers, opts, func(i int, e crawlEntry) error {
+		return emit(SiteResult{Index: i, Crawl: e.Crawl, Mail: e.Mail, Blocked: e.Blocked})
+	})
+}
+
+// DatasetShell returns an empty dataset frame (persona, browser label,
+// CNAME view) for assembling streamed site results into.
+func DatasetShell(eco *webgen.Ecosystem, profile browser.Profile) *Dataset {
+	return newDataset(eco, profile.Name+" "+profile.Version)
+}
+
+// Merge appends one streamed site result to the dataset. Callers must
+// merge results in site order for the dataset to match a batch crawl
+// byte for byte.
+func (d *Dataset) Merge(r SiteResult) {
+	d.merge(crawlEntry{Crawl: r.Crawl, Mail: r.Mail, Blocked: r.Blocked})
+}
+
+// streamCrawl is the engine. workers <= 1 runs the single-browser
+// serial loop (emissions in site order); workers > 1 runs the bounded
+// pool (emissions in completion order, concurrent emit). Checkpointed
+// sites are emitted without crawling, then the remainder is fed to the
+// workers.
+func streamCrawl(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, workers int, opts Options, emit func(int, crawlEntry) error) error {
+	inj := injectorFor(eco, opts)
+
+	var ckpt *Checkpoint
+	if opts.CheckpointPath != "" {
+		var err error
+		ckpt, err = OpenCheckpoint(opts.CheckpointPath, eco, profile, opts.Resume)
+		if err != nil {
+			return err
+		}
+		defer ckpt.Close()
+	}
+
+	if workers <= 1 {
+		b := browser.New(profile, eco.Zone)
+		for i, s := range sites {
+			if e, ok := ckpt.lookup(s.Domain); ok {
+				if err := emit(i, e); err != nil {
+					return err
+				}
+				continue
+			}
+			e := crawlEntryFor(b, eco, s, newFaultTransport(eco, inj, opts.Policy))
+			if ckpt != nil {
+				if err := ckpt.Append(e); err != nil {
+					return err
+				}
+			}
+			if err := emit(i, e); err != nil {
+				return err
+			}
+			b.Reset()
+		}
+		if ckpt != nil {
+			return ckpt.Close()
+		}
+		return nil
+	}
+
+	if workers > len(sites) {
+		workers = len(sites)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Checkpointed sites first, in site order, from this goroutine.
+	pending := make([]int, 0, len(sites))
+	for i, s := range sites {
+		if e, ok := ckpt.lookup(s.Domain); ok {
+			if err := emit(i, e); err != nil {
+				return err
+			}
+			continue
+		}
+		pending = append(pending, i)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	stop := make(chan struct{})
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(stop)
+		})
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := browser.New(profile, eco.Zone)
+			for i := range next {
+				e := crawlEntryFor(b, eco, sites[i], newFaultTransport(eco, inj, opts.Policy))
+				if ckpt != nil {
+					if err := ckpt.Append(e); err != nil {
+						fail(err)
+						return
+					}
+				}
+				if err := emit(i, e); err != nil {
+					fail(err)
+					return
+				}
+				b.Reset()
+			}
+		}()
+	}
+feed:
+	for _, i := range pending {
+		select {
+		case next <- i:
+		case <-stop:
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if ckpt != nil {
+		return ckpt.Close()
+	}
+	return nil
+}

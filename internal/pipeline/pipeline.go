@@ -1,0 +1,291 @@
+// Package pipeline fuses the study's crawl and detection stages into
+// one streaming pass. Crawl workers emit per-site captures into a
+// bounded channel; detect workers scan each capture as it arrives and
+// release the records immediately afterwards (keeping only the reduced
+// request index the §7.2 blocklist evaluation needs); a single
+// accumulation goroutine folds the resulting leaks into the shared
+// Result store — the §4.2 analysis indexes, the §5 tracking index and
+// the §6 policy-audit sender set — in one pass. Peak memory is bounded
+// by the number of captures in flight (crawl workers + channel buffer +
+// detect workers) instead of the whole crawl.
+//
+// Determinism: per-site leaks are collected in site-index slots and
+// concatenated in site order at the end, detection runs only on
+// successful crawls (exactly the batch path's Successes loop), and
+// every accumulated aggregate is a set — so batch, streamed-serial,
+// streamed-parallel and checkpoint-resumed runs produce byte-identical
+// leak output and identical table numbers regardless of completion
+// order.
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"piileak/internal/browser"
+	"piileak/internal/core"
+	"piileak/internal/crawler"
+	"piileak/internal/httpmodel"
+	"piileak/internal/tracking"
+	"piileak/internal/webgen"
+)
+
+// Options configures a streamed study run.
+type Options struct {
+	// CrawlWorkers sets the crawl stage's parallelism; <= 1 crawls
+	// serially with a single browser.
+	CrawlWorkers int
+	// DetectWorkers sets the detection stage's parallelism; <= 0 means
+	// one worker.
+	DetectWorkers int
+	// Buffer is the capture channel's capacity; <= 0 selects 2. Together
+	// with the worker counts it bounds the captures in flight.
+	Buffer int
+	// Crawl carries the crawl-level options: site subset, fault
+	// injection, checkpointing. Its Workers field is overridden by
+	// CrawlWorkers.
+	Crawl crawler.Options
+	// KeepRecords retains full captures in the assembled dataset (the
+	// batch-compatible mode Study.Run uses). When false, records are
+	// released after detection and the dataset is thin.
+	KeepRecords bool
+	// Progress, when set, receives per-stage completion events. It is
+	// never called concurrently.
+	Progress func(Event)
+}
+
+// Event is one progress tick from a pipeline stage.
+type Event struct {
+	// Stage is "crawl" or "detect".
+	Stage string
+	// Done counts completed sites in the stage, out of Total.
+	Done, Total int
+	// Site is the domain that just completed.
+	Site string
+	// Leaks is the cumulative leak count (detect events only).
+	Leaks int
+}
+
+// Stats carries a finished run's counters.
+type Stats struct {
+	// Sites is the crawled-site count; Successes the auth-flow
+	// completions (the analysis denominator).
+	Sites, Successes int
+	// Leaks is the total detected leak count.
+	Leaks int
+	// CaptureHighWater is the maximum number of record-bearing captures
+	// simultaneously in flight — the pipeline's memory bound. Zero when
+	// KeepRecords kept every capture alive.
+	CaptureHighWater int
+	// Released counts sites whose records were dropped after detection.
+	Released int
+}
+
+// Result is the shared study store every downstream view reads from:
+// §4.2 analysis, §5 tracking classification, §6 audit senders and the
+// §7.2 request index all come out of the same single-pass accumulation.
+type Result struct {
+	// Leaks is the full leak list in site order — byte-identical to the
+	// batch detection loop's output.
+	Leaks []core.Leak
+	// Analysis is the finalized §4.2 aggregate view.
+	Analysis *core.Analysis
+	// Tracking is the incremental §5 index; call Classification() for
+	// the Table 2 census.
+	Tracking *tracking.Index
+	// Senders is the distinct leaking first parties — the §6 policy
+	// audit population.
+	Senders map[string]bool
+	// Requests is the reduced per-site request index (leaky sites only)
+	// for the §7.2 blocklist evaluation.
+	Requests *httpmodel.RequestIndex
+	// Dataset is the assembled crawl dataset: full captures under
+	// KeepRecords, thin (records released) otherwise.
+	Dataset *crawler.Dataset
+	// TotalRecords counts captured requests across all sites, counted
+	// before any release.
+	TotalRecords int
+	// Stats carries the run counters.
+	Stats Stats
+}
+
+// gauge tracks the in-flight capture count and its high-water mark.
+type gauge struct {
+	cur, high atomic.Int64
+}
+
+func (g *gauge) inc() {
+	c := g.cur.Add(1)
+	for {
+		h := g.high.Load()
+		if c <= h || g.high.CompareAndSwap(h, c) {
+			return
+		}
+	}
+}
+
+func (g *gauge) dec() { g.cur.Add(-1) }
+
+// siteOutput is one site after detection: the (possibly thinned) crawl
+// result, its leaks, the reduced request list when the site leaked, and
+// the pre-release record count.
+type siteOutput struct {
+	res     crawler.SiteResult
+	leaks   []core.Leak
+	reqs    []httpmodel.IndexedRequest
+	records int
+}
+
+// Run executes the fused crawl+detect+accumulate pipeline and returns
+// the shared result store.
+func Run(eco *webgen.Ecosystem, profile browser.Profile, det *core.Detector, opts Options) (*Result, error) {
+	sites := opts.Crawl.Sites
+	if sites == nil {
+		sites = eco.Sites
+	}
+	total := len(sites)
+
+	detectWorkers := opts.DetectWorkers
+	if detectWorkers <= 0 {
+		detectWorkers = 1
+	}
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = 2
+	}
+
+	var (
+		progressMu sync.Mutex
+		crawled    int
+	)
+	emitEvent := func(ev Event) {
+		if opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		opts.Progress(ev)
+		progressMu.Unlock()
+	}
+
+	var g gauge
+	captures := make(chan crawler.SiteResult, buffer)
+	outputs := make(chan siteOutput, buffer)
+
+	// Stage 1: crawl. Emissions block on the captures channel, which is
+	// the backpressure that bounds the pipeline's in-flight state.
+	copts := opts.Crawl
+	copts.Sites = sites
+	copts.Workers = opts.CrawlWorkers
+	var crawlErr error
+	go func() {
+		defer close(captures)
+		crawlErr = crawler.CrawlStream(eco, profile, copts, func(r crawler.SiteResult) error {
+			g.inc()
+			captures <- r
+			progressMu.Lock()
+			crawled++
+			n := crawled
+			progressMu.Unlock()
+			if opts.Progress != nil {
+				emitEvent(Event{Stage: "crawl", Done: n, Total: total, Site: r.Crawl.Domain})
+			}
+			return nil
+		})
+	}()
+
+	// Stage 2: detect. Each worker scans a capture's records and then
+	// releases them (unless KeepRecords), reducing leaky sites to the
+	// request index first.
+	var wg sync.WaitGroup
+	for w := 0; w < detectWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range captures {
+				out := siteOutput{res: r, records: len(r.Crawl.Records)}
+				if r.Crawl.Outcome == crawler.OutcomeSuccess {
+					out.leaks = det.DetectSite(r.Crawl.Domain, r.Crawl.Records)
+				}
+				if len(out.leaks) > 0 {
+					out.reqs = httpmodel.ReduceRecords(r.Crawl.Records)
+				}
+				if !opts.KeepRecords {
+					out.res.Crawl.Records = nil
+				}
+				g.dec()
+				outputs <- out
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(outputs)
+	}()
+
+	// Stage 3: accumulate — the single goroutine (this one) that owns
+	// the shared store. Per-site leaks land in site-index slots so the
+	// final concatenation is in site order no matter when each site
+	// finished.
+	acc := core.NewAccumulator()
+	trk := tracking.NewIndex()
+	reqIx := httpmodel.NewRequestIndex()
+	leaksBySite := make([][]core.Leak, total)
+	results := make([]crawler.SiteResult, total)
+	stats := Stats{}
+	totalRecords := 0
+	detected := 0
+	leakCount := 0
+	for out := range outputs {
+		results[out.res.Index] = out.res
+		leaksBySite[out.res.Index] = out.leaks
+		for i := range out.leaks {
+			l := &out.leaks[i]
+			acc.Add(l)
+			trk.Add(l)
+		}
+		if out.reqs != nil {
+			reqIx.AddReduced(out.res.Crawl.Domain, out.reqs)
+		}
+		if out.res.Crawl.Outcome == crawler.OutcomeSuccess {
+			acc.AddSites(1)
+			stats.Successes++
+		}
+		if !opts.KeepRecords && out.records > 0 {
+			stats.Released++
+		}
+		totalRecords += out.records
+		leakCount += len(out.leaks)
+		detected++
+		emitEvent(Event{Stage: "detect", Done: detected, Total: total, Site: out.res.Crawl.Domain, Leaks: leakCount})
+	}
+	if crawlErr != nil {
+		return nil, crawlErr
+	}
+
+	var leaks []core.Leak
+	for _, ls := range leaksBySite {
+		leaks = append(leaks, ls...)
+	}
+	ds := crawler.DatasetShell(eco, profile)
+	for i := range results {
+		ds.Merge(results[i])
+	}
+
+	stats.Sites = total
+	stats.Leaks = len(leaks)
+	stats.CaptureHighWater = int(g.high.Load())
+	if opts.KeepRecords {
+		stats.CaptureHighWater = 0
+	}
+
+	return &Result{
+		Leaks:        leaks,
+		Analysis:     acc.Finalize(leaks),
+		Tracking:     trk,
+		Senders:      acc.SenderSet(),
+		Requests:     reqIx,
+		Dataset:      ds,
+		TotalRecords: totalRecords,
+		Stats:        stats,
+	}, nil
+}

@@ -87,135 +87,19 @@ func identifiable(l *core.Leak) bool {
 	return l.Param != "" && l.Method != httpmodel.SurfaceReferer
 }
 
-// Classify runs the §5.2 analysis over detected leaks.
+// Classify runs the §5.2 analysis over detected leaks in one batch
+// pass: it feeds a fresh incremental Index and materializes the census.
+// The cross-site cue lives in the Index: the receiver gets the *same
+// ID* — the same PII-derived token value — from at least two senders.
+// The persona is one user, so equal encodings yield equal IDs across
+// sites; receivers whose senders use different encodings (or no
+// identifier parameter at all) fail the cue.
 func Classify(leaks []core.Leak) *Classification {
-	type provKey struct {
-		receiver string
-		cloaked  bool
+	ix := NewIndex()
+	for i := range leaks {
+		ix.Add(&leaks[i])
 	}
-	byProv := map[provKey][]core.Leak{}
-	for _, l := range leaks {
-		k := provKey{l.Receiver, l.Cloaked}
-		byProv[k] = append(byProv[k], l)
-	}
-	keys := make([]provKey, 0, len(byProv))
-	for k := range byProv {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(a, b int) bool { return keys[a].receiver < keys[b].receiver })
-
-	c := &Classification{}
-	for _, k := range keys {
-		ls := byProv[k]
-		p := buildProvider(k.receiver, k.cloaked, ls)
-
-		senders := map[string]bool{}
-		for _, l := range ls {
-			senders[l.Site] = true
-		}
-		if len(senders) >= 2 {
-			c.MultiSender++
-		} else {
-			c.SingleSender++
-		}
-		if p.MultiSenderID {
-			c.MultiSenderID++
-		}
-		c.Providers = append(c.Providers, p)
-		if p.IsTracker() {
-			c.Trackers = append(c.Trackers, p)
-		}
-	}
-	sort.SliceStable(c.Providers, func(a, b int) bool {
-		if c.Providers[a].Senders != c.Providers[b].Senders {
-			return c.Providers[a].Senders > c.Providers[b].Senders
-		}
-		return c.Providers[a].Receiver < c.Providers[b].Receiver
-	})
-	sort.SliceStable(c.Trackers, func(a, b int) bool {
-		if c.Trackers[a].Senders != c.Trackers[b].Senders {
-			return c.Trackers[a].Senders > c.Trackers[b].Senders
-		}
-		return c.Trackers[a].Receiver < c.Trackers[b].Receiver
-	})
-	return c
-}
-
-func buildProvider(receiver string, cloaked bool, ls []core.Leak) Provider {
-	p := Provider{Receiver: receiver, Cloaked: cloaked}
-
-	// Cross-site cue (§5.2): the receiver gets the *same ID* — the
-	// same PII-derived token value — from at least two senders. The
-	// persona is one user, so equal encodings yield equal IDs across
-	// sites; receivers whose senders use different encodings (or no
-	// identifier parameter at all) fail the cue.
-	valueSenders := map[string]map[string]bool{} // token value -> senders
-	senders := map[string]bool{}
-	for i := range ls {
-		l := &ls[i]
-		if !identifiable(l) {
-			continue
-		}
-		senders[l.Site] = true
-		if valueSenders[l.Token.Value] == nil {
-			valueSenders[l.Token.Value] = map[string]bool{}
-		}
-		valueSenders[l.Token.Value][l.Site] = true
-	}
-	p.Senders = len(senders)
-	for _, ss := range valueSenders {
-		if len(ss) >= 2 {
-			p.MultiSenderID = true
-			break
-		}
-	}
-
-	// Persistence cue: identifier leaks on subpages.
-	for i := range ls {
-		l := &ls[i]
-		if identifiable(l) && l.Phase == httpmodel.PhaseSubpage {
-			p.Persistent = true
-			break
-		}
-	}
-
-	// Table 2 rows: group identifier leaks by encoding form.
-	type agg struct {
-		senders map[string]bool
-		methods map[string]bool
-		params  map[string]bool
-	}
-	rows := map[string]*agg{}
-	for i := range ls {
-		l := &ls[i]
-		if !identifiable(l) {
-			continue
-		}
-		lab := l.EncodingLabel()
-		a := rows[lab]
-		if a == nil {
-			a = &agg{senders: map[string]bool{}, methods: map[string]bool{}, params: map[string]bool{}}
-			rows[lab] = a
-		}
-		a.senders[l.Site] = true
-		a.methods[methodName(l.Method)] = true
-		a.params[l.Param] = true
-	}
-	for lab, a := range rows {
-		p.Rows = append(p.Rows, Row{
-			Senders:  len(a.senders),
-			Methods:  sortedSet(a.methods),
-			Encoding: lab,
-			Params:   sortedSet(a.params),
-		})
-	}
-	sort.Slice(p.Rows, func(a, b int) bool {
-		if p.Rows[a].Senders != p.Rows[b].Senders {
-			return p.Rows[a].Senders > p.Rows[b].Senders
-		}
-		return p.Rows[a].Encoding < p.Rows[b].Encoding
-	})
-	return p
+	return ix.Classification()
 }
 
 func methodName(m httpmodel.SurfaceKind) string {

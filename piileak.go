@@ -27,6 +27,7 @@ import (
 	"piileak/internal/crawler"
 	"piileak/internal/dnssim"
 	"piileak/internal/pii"
+	"piileak/internal/pipeline"
 	"piileak/internal/policy"
 	"piileak/internal/site"
 	"piileak/internal/tracking"
@@ -79,10 +80,19 @@ type Study struct {
 	// Detector is the §4.1 leak detector.
 	Detector *core.Detector
 
-	// Dataset, Leaks and Analysis are populated by Run.
+	// Dataset, Leaks and Analysis are populated by Run (or RunStream).
 	Dataset  *crawler.Dataset
 	Leaks    []core.Leak
 	Analysis *core.Analysis
+
+	// Result is the shared store both run modes populate: the §4.2
+	// analysis, the incremental §5 tracking index, the §6 audit sender
+	// set and the §7.2 request index, all built in one pass. Tracking,
+	// PolicyAudit and EvaluateBlocklists are views over it.
+	Result *pipeline.Result
+	// Streamed marks a RunStream study whose captures were released
+	// after detection; experiments needing raw records refuse to run.
+	Streamed bool
 }
 
 // NewStudy generates the ecosystem and builds the detection machinery.
@@ -110,19 +120,50 @@ func NewStudy(cfg Config) (*Study, error) {
 }
 
 // Run executes the §3.2 crawl and the §4 detection over every candidate
-// site, populating Dataset, Leaks and Analysis.
+// site, populating Dataset, Leaks, Analysis and the shared Result
+// store. It runs the same fused pipeline as RunStream but keeps the
+// full captures, so the dataset is byte-identical to a batch crawl.
 func (s *Study) Run() error {
-	if s.Config.Workers > 0 {
-		s.Dataset = crawler.CrawlParallel(s.Eco, s.Config.Browser, s.Config.Workers)
-	} else {
-		s.Dataset = crawler.Crawl(s.Eco, s.Config.Browser)
+	return s.RunStream(pipeline.Options{
+		DetectWorkers: s.Config.Workers,
+		KeepRecords:   true,
+	})
+}
+
+// RunStream executes the fused crawl+detect pipeline under explicit
+// options. Unless opts.KeepRecords is set, per-site captures are
+// released right after detection (peak memory stays bounded by the
+// in-flight worker count) and the study is marked Streamed: Dataset is
+// thin — crawl outcomes, mailbox and block counters survive, Records do
+// not — and experiments needing raw captures refuse to run. Leaks,
+// analysis and every table are byte-identical to Run's regardless of
+// worker counts or completion order.
+func (s *Study) RunStream(opts pipeline.Options) error {
+	if opts.CrawlWorkers == 0 {
+		opts.CrawlWorkers = s.Config.Workers
 	}
-	s.Leaks = nil
-	for _, c := range s.Dataset.Successes() {
-		s.Leaks = append(s.Leaks, s.Detector.DetectSite(c.Domain, c.Records)...)
+	res, err := pipeline.Run(s.Eco, s.Config.Browser, s.Detector, opts)
+	if err != nil {
+		return err
 	}
-	s.Analysis = core.Analyze(s.Leaks, len(s.Dataset.Successes()))
+	s.Result = res
+	s.Dataset = res.Dataset
+	s.Leaks = res.Leaks
+	s.Analysis = res.Analysis
+	s.Streamed = !opts.KeepRecords
 	return nil
+}
+
+// TotalRecords reports the captured request count, served from the
+// result store so streamed runs report the true pre-release total.
+func (s *Study) TotalRecords() int {
+	if s.Result != nil {
+		return s.Result.TotalRecords
+	}
+	if s.Dataset != nil {
+		return s.Dataset.TotalRecords()
+	}
+	return 0
 }
 
 // mustRun guards accessors that need Run's outputs.
@@ -133,23 +174,27 @@ func (s *Study) mustRun() error {
 	return nil
 }
 
-// Tracking runs the §5.2 persistent-tracking classification.
+// Tracking runs the §5.2 persistent-tracking classification, served
+// from the result store's incremental index. Studies populated outside
+// Run/RunStream (loaded datasets, hand-built fixtures) fall back to a
+// batch classification of Leaks.
 func (s *Study) Tracking() (*tracking.Classification, error) {
 	if err := s.mustRun(); err != nil {
 		return nil, err
 	}
+	if s.Result != nil {
+		return s.Result.Tracking.Classification(), nil
+	}
 	return tracking.Classify(s.Leaks), nil
 }
 
-// PolicyAudit runs the §6 disclosure audit over the detected senders.
+// PolicyAudit runs the §6 disclosure audit over the detected senders,
+// taken from the result store's accumulated sender set.
 func (s *Study) PolicyAudit() (policy.Table3, error) {
 	if err := s.mustRun(); err != nil {
 		return policy.Table3{}, err
 	}
-	senders := map[string]bool{}
-	for _, l := range s.Leaks {
-		senders[l.Site] = true
-	}
+	senders := s.senderSet()
 	var out []*site.Site
 	for _, st := range s.Eco.Sites {
 		if senders[st.Domain] {
@@ -159,7 +204,24 @@ func (s *Study) PolicyAudit() (policy.Table3, error) {
 	return policy.Audit(out), nil
 }
 
-// EvaluateBrowsers runs the §7.1 browser comparison.
+// senderSet returns the distinct leaking first parties.
+func (s *Study) senderSet() map[string]bool {
+	if s.Result != nil {
+		return s.Result.Senders
+	}
+	senders := map[string]bool{}
+	for _, l := range s.Leaks {
+		senders[l.Site] = true
+	}
+	return senders
+}
+
+// EvaluateBrowsers runs the §7.1 browser comparison. It is
+// intentionally not mustRun-guarded: the evaluation re-crawls the
+// ecosystem's sender sites per browser profile itself, so it depends
+// only on the generated ecosystem, never on this study's crawl, leaks
+// or analysis — calling it before Run is valid and produces the same
+// result as calling it after.
 func (s *Study) EvaluateBrowsers() []countermeasure.BrowserResult {
 	return countermeasure.EvaluateBrowsers(s.Eco, s.Config.Browser, countermeasure.Profiles(s.Eco))
 }
@@ -181,7 +243,23 @@ func (s *Study) EvaluateBlocklists() (*countermeasure.Table4, error) {
 	for _, tr := range cls.Trackers {
 		trackers = append(trackers, tr.Receiver)
 	}
+	if s.Result != nil {
+		// The store's request index covers every leaky site — the only
+		// sites whose initiator chains the evaluation walks — so the
+		// indexed path reproduces the full-dataset result exactly, with
+		// or without retained captures.
+		return countermeasure.EvaluateBlocklistsIndexed(s.Leaks, s.Result.Requests, lists, trackers), nil
+	}
 	return countermeasure.EvaluateBlocklists(s.Leaks, s.Dataset, lists, trackers), nil
+}
+
+// requireCaptures guards experiments that rescan raw captured records:
+// a streamed study released them after detection.
+func (s *Study) requireCaptures(id string) error {
+	if s.Streamed {
+		return fmt.Errorf("%s: needs raw captures, but the study ran in streamed mode (records were released after detection); re-run without -stream", id)
+	}
+	return nil
 }
 
 // WriteLeaksJSON exports the detected leak records as indented JSON for
