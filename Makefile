@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race bench fuzz check clean
+.PHONY: all build test vet fmt lint race bench fuzz check clean
 
 all: check
 
@@ -15,6 +15,12 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Repo-specific determinism and PII-hygiene analyzers (internal/analysis,
+# DESIGN.md §8): detrand, maporder, piilog, closecheck. Zero findings or
+# the gate fails with file:line diagnostics.
+lint:
+	$(GO) run ./cmd/piilint ./...
+
 test:
 	$(GO) test ./...
 
@@ -27,10 +33,11 @@ race:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 	$(GO) test -json -bench '^BenchmarkPipeline$$' -benchmem -run '^$$' . > BENCH_pipeline.json
+	$(GO) test -json -bench '^BenchmarkPiilint$$' -benchmem -run '^$$' ./internal/analysis/suite > BENCH_lint.json
 
 # Short fuzz smoke for the dataset decoder hardening.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime 10s ./internal/crawler/
 
 # The gate every change must pass.
-check: fmt vet build race
+check: fmt vet lint build race

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+
+	"piileak/internal/analysis"
+	"piileak/internal/analysis/suite"
+)
+
+// vetConfig is the unit-of-work description the go vet driver passes a
+// -vettool binary: one package, pre-resolved file lists and export-data
+// locations. Field names follow the x/tools unitchecker protocol.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package under the go vet driver and exits with
+// the protocol's status codes (0 clean, 2 diagnostics).
+func vetUnit(cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalVet(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalVet(fmt.Errorf("parsing %s: %w", cfgPath, err))
+	}
+
+	// This suite exchanges no facts between packages, but the driver
+	// still expects a vetx output file to exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatalVet(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			fatalVet(err)
+		}
+		syntax = append(syntax, f)
+	}
+
+	imp := vetImporter{cfg: &cfg, gc: analysis.ExportImporter(fset, cfg.PackageFile)}
+	conf := types.Config{Importer: imp}
+	info := analysis.NewInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, syntax, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalVet(err)
+	}
+
+	pkg := &analysis.Package{
+		PkgPath: cfg.ImportPath, Dir: cfg.Dir,
+		Fset: fset, Syntax: syntax, Types: tpkg, TypesInfo: info,
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, suite.Analyzers())
+	if err != nil {
+		fatalVet(err)
+	}
+	if len(findings) == 0 {
+		return
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	os.Exit(2)
+}
+
+// vetImporter resolves imports through the driver-provided export-data
+// map, honoring ImportMap (vendoring) indirection. A single underlying
+// gc importer preserves package identity across imports.
+type vetImporter struct {
+	cfg *vetConfig
+	gc  types.Importer
+}
+
+func (v vetImporter) Import(path string) (*types.Package, error) {
+	if m, ok := v.cfg.ImportMap[path]; ok {
+		path = m
+	}
+	return v.gc.Import(path)
+}
+
+func fatalVet(err error) {
+	fmt.Fprintln(os.Stderr, "piilint:", err)
+	os.Exit(1)
+}

@@ -35,12 +35,13 @@ func main() {
 	}
 
 	w := os.Stdout
+	closeOut := func() error { return nil }
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		closeOut = f.Close
 		w = f
 	}
 
@@ -58,6 +59,12 @@ func main() {
 	}
 	if *site != "" && exchanges == 0 {
 		fatal(fmt.Errorf("site %q not in the dataset", *site))
+	}
+	// Close errors matter here: the pcap lives in kernel buffers until
+	// the file is flushed, and a silent failure hands the user a
+	// truncated capture.
+	if err := closeOut(); err != nil {
+		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "piipcap: %d HTTP exchanges exported\n", exchanges)
 }

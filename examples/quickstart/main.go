@@ -8,6 +8,7 @@ import (
 	"log"
 
 	"piileak"
+	"piileak/internal/pii"
 	"piileak/internal/report"
 )
 
@@ -21,7 +22,7 @@ func main() {
 	}
 
 	h := study.Analysis.Headline()
-	fmt.Printf("Crawled %d shopping sites as %q.\n", h.TotalSites, study.Dataset.Persona.Email)
+	fmt.Printf("Crawled %d shopping sites as %q.\n", h.TotalSites, pii.Redact(study.Dataset.Persona.Email))
 	fmt.Printf("%d sites (%.1f%%) leaked PII to %d third parties over %d requests.\n\n",
 		h.Senders, h.LeakRate, h.Receivers, h.LeakyRequests)
 

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The allowlist escape hatch. A comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// suppresses that analyzer's diagnostics on the same line (trailing
+// comment) or on the line immediately below (comment on its own line).
+// The reason is mandatory: a directive without one does not suppress
+// anything and is itself reported, so every exception in the tree
+// documents why it is safe.
+
+const allowPrefix = "lint:allow"
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	line     int // line the comment sits on
+}
+
+// allowIndex answers "is this diagnostic suppressed?" for one package.
+type allowIndex struct {
+	// byLine maps file -> line -> analyzers allowed on that line.
+	byLine map[string]map[int]map[string]bool
+	// malformed holds directives with no reason, reported as findings.
+	malformed []allowDirective
+}
+
+// buildAllowIndex scans every comment in the package.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byLine: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				pos := fset.Position(c.Pos())
+				d := allowDirective{analyzer: name, reason: reason, pos: c.Pos(), line: pos.Line}
+				if name == "" || reason == "" {
+					idx.malformed = append(idx.malformed, d)
+					continue
+				}
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					idx.byLine[pos.Filename] = lines
+				}
+				// A trailing comment covers its own line; a
+				// standalone comment covers the next line.
+				// Recording both is harmless for trailing
+				// comments and keeps the rule simple.
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if lines[ln] == nil {
+						lines[ln] = map[string]bool{}
+					}
+					lines[ln][name] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at
+// position p is covered by an allow directive.
+func (idx *allowIndex) suppressed(analyzer string, p token.Position) bool {
+	lines := idx.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[p.Line][analyzer]
+}

@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"piileak/internal/analysis"
+)
+
+// TestMalformedAllowDirective: a //lint:allow with no reason is a
+// finding, not a suppression — the allowlist policy is "every
+// exception documents why".
+func TestMalformedAllowDirective(t *testing.T) {
+	pkg, err := analysis.LoadDir("testdata/src/allowcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want exactly 1 malformed-directive finding, got %d: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "allow" || f.Pos.Line != 9 || !strings.Contains(f.Message, "needs an analyzer name and a reason") {
+		t.Fatalf("unexpected finding: %+v", f)
+	}
+}
+
+// TestFindingString pins the file:line:col rendering tools parse.
+func TestFindingString(t *testing.T) {
+	pkg, err := analysis.LoadDir("testdata/src/allowcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := findings[0].String()
+	if !strings.Contains(s, "allowcheck.go:9:") || !strings.Contains(s, ": allow: ") {
+		t.Fatalf("unexpected rendering: %s", s)
+	}
+}

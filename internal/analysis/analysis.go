@@ -1,0 +1,65 @@
+// Package analysis is a small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface this repo needs: Analyzer,
+// Pass, Diagnostic, a package loader built on `go list -export`, an
+// allowlist (`//lint:allow`) layer, and a deterministic runner.
+//
+// Why not the real module? The repo is intentionally stdlib-only, and
+// the invariants piilint protects (byte-identical study output across
+// serial/parallel/streamed/resumed runs, no persona PII in logs) are
+// repo-specific anyway. The API mirrors go/analysis closely enough that
+// migrating an analyzer to the upstream framework is mechanical: swap
+// the import, keep the Run function.
+//
+// See README.md in this directory for the analyzer catalog and the
+// allowlist policy.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph help text: what the analyzer flags
+	// and which invariant that protects.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings
+	// through pass.Report / pass.Reportf and returns an error only
+	// for internal failures (not for findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass is the input to an Analyzer.Run: one type-checked package and
+// a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,141 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against expectations written in the source as
+// comments — the same convention as golang.org/x/tools's analysistest:
+//
+//	m[k] = v // want `regexp` `another regexp`
+//
+// Each regexp must match a distinct diagnostic reported on that line,
+// and every diagnostic must be claimed by some want. //lint:allow
+// directives are honored, so suppression is testable too.
+//
+// Testdata layout follows the upstream convention:
+//
+//	<analyzer>/testdata/src/<pkg>/*.go
+//
+// Packages may import the standard library and this repo's own
+// packages (resolved through `go list -export` from the module root).
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"piileak/internal/analysis"
+)
+
+// want is one expectation: a regexp that must match a diagnostic at
+// file:line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads testdata/src/<pkg> beneath dir, applies the analyzer, and
+// reports any mismatch between expectations and diagnostics on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	src := filepath.Join(dir, "testdata", "src", pkg)
+	p, err := analysis.LoadDir(src)
+	if err != nil {
+		t.Fatalf("loading %s: %v", src, err)
+	}
+
+	wants, err := collectWants(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{p}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unhit want matching this finding.
+func claim(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans every comment for want expectations.
+func collectWants(p *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range p.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+				patterns, err := splitPatterns(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				for _, pat := range patterns {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	// Belt and braces: a testdata package with zero expectations is
+	// far more likely a harness bug than a deliberate all-negative
+	// corpus — negative cases live beside positive ones.
+	if len(wants) == 0 {
+		return nil, fmt.Errorf("testdata package %s has no want expectations", p.PkgPath)
+	}
+	return wants, nil
+}
+
+// splitPatterns parses a sequence of Go-quoted or backquoted strings.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted: %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern: %q", s)
+		}
+		lit := s[:end+2]
+		pat, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %q: %v", lit, err)
+		}
+		out = append(out, pat)
+		s = s[end+2:]
+	}
+	return out, nil
+}

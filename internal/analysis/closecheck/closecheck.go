@@ -1,0 +1,55 @@
+// Package closecheck flags `defer x.Close()` when x can buffer writes
+// (it satisfies io.Writer) and the Close error is discarded. For
+// *os.File, *gzip.Writer, and friends, Close is where buffered bytes
+// actually reach the OS — dropping its error silently truncates
+// datasets, the exact bug class fixed by hand in crawler.WriteJSONFile.
+package closecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"piileak/internal/analysis"
+)
+
+// Analyzer is the closecheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc: "flags deferred Close() calls whose error is discarded on types " +
+		"that satisfy io.Writer; buffered output can be lost silently",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			def, ok := n.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			call := def.Call
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Results().Len() != 1 {
+				return true // Close() with no error to lose
+			}
+			t := pass.TypesInfo.TypeOf(sel.X)
+			if t == nil || !analysis.IsWriter(t) {
+				return true // read-only closer; error is inconsequential
+			}
+			pass.Reportf(def.Pos(),
+				"deferred Close on %s discards its error; for writable files this can lose buffered "+
+					"bytes silently — capture it (e.g. into a named return) or //lint:allow closecheck <reason>",
+				types.TypeString(t, func(p *types.Package) string { return p.Name() }))
+			return true
+		})
+	}
+	return nil
+}

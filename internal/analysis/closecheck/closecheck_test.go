@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"piileak/internal/analysis/analysistest"
+	"piileak/internal/analysis/closecheck"
+)
+
+func TestCloseCheck(t *testing.T) {
+	analysistest.Run(t, ".", closecheck.Analyzer, "a")
+}

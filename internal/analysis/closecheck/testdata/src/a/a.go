@@ -1,0 +1,65 @@
+// Package a exercises closecheck: discarded deferred Close errors on
+// writable types, read-only and error-checked negatives, and
+// suppression.
+package a
+
+import (
+	"compress/gzip"
+	"os"
+)
+
+func createFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close on \*os\.File discards its error`
+	_, err = f.WriteString("x")
+	return err
+}
+
+func gzipWriter(f *os.File) error {
+	zw := gzip.NewWriter(f)
+	defer zw.Close() // want `deferred Close on \*gzip\.Writer discards its error`
+	_, err := zw.Write([]byte("x"))
+	return err
+}
+
+func gzipReader(f *os.File) error {
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return err
+	}
+	defer zr.Close() // a *gzip.Reader buffers no writes; its Close error is inconsequential
+	return nil
+}
+
+func errorCaptured(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.WriteString("x")
+	return err
+}
+
+type flushless struct{}
+
+func (flushless) Write(p []byte) (int, error) { return len(p), nil }
+func (flushless) Close()                      {}
+
+func closeReturnsNothing() {
+	var w flushless
+	defer w.Close() // Close has no error to discard
+	_, _ = w.Write(nil)
+}
+
+func suppressed(f *os.File) {
+	defer f.Close() //lint:allow closecheck fixture: read-only handle, close error carries no data loss
+	_ = f
+}

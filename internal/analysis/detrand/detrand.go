@@ -1,0 +1,163 @@
+// Package detrand flags nondeterminism sources — wall-clock reads,
+// global or entropy-seeded RNGs, and map-ordered output — in the
+// packages that must replay byte-identically (§4.2 Table 1, §5 Table 2,
+// §7 Table 4 are pinned across serial/parallel/streamed/resumed runs).
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"piileak/internal/analysis"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "flags time.Now/time.Since, math/rand global-source functions, " +
+		"entropy-seeded rand.New, and map-range output in deterministic " +
+		"packages; these break byte-identical study reproduction",
+	Run: run,
+}
+
+// DeterministicPackages lists the import paths whose output feeds the
+// pinned study bytes: in these, iterating a map straight into fmt or an
+// encoder is flagged even without an escaping collection (see also the
+// maporder analyzer, which applies everywhere).
+var DeterministicPackages = map[string]bool{
+	"piileak/internal/core":     true,
+	"piileak/internal/pipeline": true,
+	"piileak/internal/tracking": true,
+	"piileak/internal/crawler":  true,
+	"piileak/internal/webgen":   true,
+}
+
+// randGlobals are the math/rand and math/rand/v2 top-level functions
+// that draw from the package-level source, which Go seeds from OS
+// entropy at startup.
+var randGlobals = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"UintN": true, "N": true, "Float32": true, "Float64": true,
+	"NormFloat64": true, "ExpFloat64": true, "Perm": true, "Shuffle": true,
+	"Seed": true, "Read": true,
+}
+
+func run(pass *analysis.Pass) error {
+	deterministic := DeterministicPackages[pass.PkgPath] ||
+		DeterministicPackages["piileak/internal/"+path.Base(pass.PkgPath)]
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				if deterministic {
+					checkRangeOutput(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if analysis.IsPkgCall(info, call, "time", "Now", "Since") {
+		fn := analysis.Callee(info, call)
+		pass.Reportf(call.Pos(),
+			"time.%s reads the wall clock, which breaks byte-identical reproduction across runs; "+
+				"thread a resilience.Clock instead (or //lint:allow detrand <reason> for measurement-only timing)",
+			fn.Name())
+		return
+	}
+
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg := fn.Pkg().Path()
+	if pkg != "math/rand" && pkg != "math/rand/v2" {
+		return
+	}
+	// Methods on an explicitly constructed *rand.Rand are fine — the
+	// caller chose the seed. Only package-level functions draw from
+	// the entropy-seeded global source.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return
+	}
+	if randGlobals[fn.Name()] {
+		pass.Reportf(call.Pos(),
+			"rand.%s draws from the process-global source, seeded from OS entropy; "+
+				"use rand.New with an explicit seed derived from the study config", fn.Name())
+		return
+	}
+	if fn.Name() == "New" && nondeterministicSeed(pass, call) {
+		pass.Reportf(call.Pos(),
+			"rand.New seeded from the clock or OS entropy is not reproducible; "+
+				"derive the seed from the study config")
+	}
+}
+
+// nondeterministicSeed reports whether any argument of a rand.New call
+// (transitively) reads time or crypto/rand entropy.
+func nondeterministicSeed(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return true // future-proofing: a sourceless constructor is unseeded
+	}
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if analysis.IsPkgCall(pass.TypesInfo, n, "time", "Now", "Since") {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if o := pass.TypesInfo.Uses[n.Sel]; o != nil && o.Pkg() != nil && o.Pkg().Path() == "crypto/rand" {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// outputFuncs are the fmt functions that emit directly.
+var outputFuncs = []string{"Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln"}
+
+// checkRangeOutput flags a direct print or encode inside a range over a
+// map: each iteration emits immediately, so the bytes follow Go's
+// randomized map order.
+func checkRangeOutput(pass *analysis.Pass, rng *ast.RangeStmt) {
+	if !analysis.IsMap(pass.TypesInfo, rng.X) {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if analysis.IsPkgCall(pass.TypesInfo, call, "fmt", outputFuncs...) {
+			pass.Reportf(call.Pos(),
+				"output inside a map range: iteration order is randomized per run, so these bytes are not reproducible; "+
+					"collect and sort keys first")
+			return true
+		}
+		if fn := analysis.Callee(pass.TypesInfo, call); fn != nil && fn.Name() == "Encode" &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "encoding/json" {
+			pass.Reportf(call.Pos(),
+				"json encode inside a map range: iteration order is randomized per run, so these bytes are not reproducible; "+
+					"collect and sort keys first")
+		}
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"piileak/internal/analysis/analysistest"
+	"piileak/internal/analysis/detrand"
+)
+
+func TestClockAndRNG(t *testing.T) {
+	analysistest.Run(t, ".", detrand.Analyzer, "a")
+}
+
+func TestDeterministicPackageOutput(t *testing.T) {
+	analysistest.Run(t, ".", detrand.Analyzer, "core")
+}

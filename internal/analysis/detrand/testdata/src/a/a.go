@@ -1,0 +1,47 @@
+// Package a exercises detrand's clock and RNG checks: positives,
+// seeded negatives, and allowlist suppression.
+package a
+
+import (
+	mrand "math/rand"
+	"math/rand/v2"
+	"time"
+)
+
+var sink any
+
+func wallClock() {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	sink = t
+	d := time.Since(time.Unix(0, 0)) // want `time\.Since reads the wall clock`
+	sink = d
+}
+
+func globalSource() {
+	sink = rand.IntN(10)               // want `rand\.IntN draws from the process-global source`
+	sink = rand.Float64()              // want `rand\.Float64 draws from the process-global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	sink = mrand.Int()                 // want `rand\.Int draws from the process-global source`
+}
+
+func seededIsFine() {
+	r := rand.New(rand.NewPCG(1, 2))
+	sink = r.IntN(10) // methods on an explicitly seeded Rand are fine
+	r1 := mrand.New(mrand.NewSource(42))
+	sink = r1.Intn(5)
+}
+
+func clockSeeded() {
+	r := mrand.New(mrand.NewSource(time.Now().UnixNano())) // want `time\.Now reads the wall clock` `rand\.New seeded from the clock`
+	sink = r.Intn(3)
+}
+
+func suppressed() {
+	t := time.Now() //lint:allow detrand fixture: suppression must hide this finding
+	sink = t
+}
+
+func timeArithmeticIsFine() {
+	// Deriving instants without reading the clock is allowed.
+	sink = time.Unix(0, 0).Add(3 * time.Second)
+}

@@ -1,0 +1,33 @@
+// Package core exercises detrand's deterministic-package rule: direct
+// output inside a map range is flagged here (the package base name
+// matches a pinned-output package), while collect-sort-emit is not.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `output inside a map range`
+	}
+}
+
+func encode(m map[string]int, enc *json.Encoder) {
+	for k := range m {
+		_ = enc.Encode(k) // want `json encode inside a map range`
+	}
+}
+
+func collectSortEmit(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k]) // ranging a sorted slice is the blessed shape
+	}
+}

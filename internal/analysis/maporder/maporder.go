@@ -1,0 +1,195 @@
+// Package maporder flags range-over-map loops whose iteration order
+// leaks into an ordered result: appending to a slice that outlives the
+// loop with no subsequent sort, or writing into an io.Writer/builder
+// declared outside the loop. Go randomizes map iteration per run, so
+// either pattern makes output bytes differ between otherwise identical
+// runs — the exact rot that breaks the repo's pinned study tables.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"piileak/internal/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags map-range loops that append to an escaping slice without " +
+		"a later sort, or write to an escaping io.Writer/builder; map " +
+		"order is randomized per run",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sortCall is one call into sort or slices, with the objects its
+// arguments mention.
+type sortCall struct {
+	pos  token.Pos
+	objs map[types.Object]bool
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	sorts := collectSorts(pass, body)
+	walkShallow(body, func(n ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !analysis.IsMap(pass.TypesInfo, rng.X) {
+			return
+		}
+		checkRange(pass, rng, sorts)
+	})
+}
+
+// collectSorts finds sort.*/slices.Sort* calls directly in this
+// function (not in nested function literals).
+func collectSorts(pass *analysis.Pass, body *ast.BlockStmt) []sortCall {
+	var sorts []sortCall
+	walkShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return
+		}
+		sc := sortCall{pos: call.Pos(), objs: map[types.Object]bool{}}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if e, ok := m.(ast.Expr); ok {
+					if o := analysis.ObjectOf(pass.TypesInfo, e); o != nil {
+						sc.objs[o] = true
+					}
+				}
+				return true
+			})
+		}
+		sorts = append(sorts, sc)
+	})
+	return sorts
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt, sorts []sortCall) {
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+
+		// x = append(x, ...) where x is declared outside the loop.
+		if bi, ok := info.Uses[calleeIdent(call)].(*types.Builtin); ok && bi.Name() == "append" {
+			if len(call.Args) == 0 {
+				return true
+			}
+			obj := analysis.ObjectOf(info, call.Args[0])
+			if obj == nil || declaredWithin(obj, rng.Body) {
+				return true
+			}
+			if sortedAfter(obj, rng.End(), sorts) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"appending to %s inside a map range with no later sort: its element order follows "+
+					"randomized map iteration and differs between runs; sort it after the loop",
+				obj.Name())
+			return true
+		}
+
+		// w.Write*/fmt.Fprint*(w, ...) on a writer from outside the loop.
+		if tgt := writeTarget(pass, call); tgt != nil && !declaredWithin(tgt, rng.Body) {
+			pass.Reportf(call.Pos(),
+				"writing to %s inside a map range emits in randomized map-iteration order; "+
+					"collect the entries, sort, then write", tgt.Name())
+		}
+		return true
+	})
+}
+
+// writeTarget resolves the writer a call emits into: the receiver of a
+// Write/WriteString/WriteByte/WriteRune/Printf-style method on an
+// io.Writer, or the first argument of fmt.Fprint*.
+func writeTarget(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	info := pass.TypesInfo
+	if analysis.IsPkgCall(info, call, "fmt", "Fprint", "Fprintf", "Fprintln") {
+		if len(call.Args) == 0 {
+			return nil
+		}
+		return analysis.ObjectOf(info, call.Args[0])
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+	default:
+		return nil
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil || !analysis.IsWriter(t) {
+		return nil
+	}
+	return analysis.ObjectOf(info, sel.X)
+}
+
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	id, _ := ast.Unparen(call.Fun).(*ast.Ident)
+	return id
+}
+
+// walkShallow visits every node in the function body except the bodies
+// of nested function literals — those are checked as functions of their
+// own, with their own sort-interposition scope.
+func walkShallow(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// declaredWithin reports whether obj's declaration lies inside node —
+// i.e. the value is loop-local, so per-iteration order cannot escape.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() != token.NoPos && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// sortedAfter reports whether any sort call after pos mentions obj.
+func sortedAfter(obj types.Object, pos token.Pos, sorts []sortCall) bool {
+	for _, sc := range sorts {
+		if sc.pos > pos && sc.objs[obj] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"piileak/internal/analysis/analysistest"
+	"piileak/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, ".", maporder.Analyzer, "a")
+}

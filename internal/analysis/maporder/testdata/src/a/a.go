@@ -1,0 +1,91 @@
+// Package a exercises maporder: escaping appends with and without an
+// interposed sort, escaping and loop-local writers, and suppression.
+package a
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appending to out inside a map range with no later sort`
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out) // the interposed sort makes the loop above legal
+	return out
+}
+
+func appendThenSlicesSort(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func appendLoopLocal(m map[string][]string) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []string
+		tmp = append(tmp, vs...) // loop-local slice: order dies with the iteration
+		n += len(tmp)
+	}
+	return n
+}
+
+func writeBuilder(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `writing to b inside a map range`
+	}
+}
+
+func writeStderr(m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stderr, "%s=%d\n", k, v) // want `writing to Stderr inside a map range`
+	}
+}
+
+func writeLoopLocal(m map[string]int) []string {
+	var lines []string
+	for k := range m {
+		var b strings.Builder
+		b.WriteString(k) // loop-local builder: no cross-iteration order
+		lines = append(lines, b.String())
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func countsAreCommutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // accumulating commutatively is fine
+	}
+	return total
+}
+
+func suppressed(m map[string][]int) []int {
+	var all []int
+	for _, vs := range m {
+		all = append(all, vs...) //lint:allow maporder fixture: consumer is order-insensitive
+	}
+	return all
+}
+
+func sliceRangeIsFine(xs []string, out *strings.Builder) {
+	for _, x := range xs {
+		out.WriteString(x) // ranging a slice is ordered already
+	}
+}

@@ -1,0 +1,175 @@
+// Package piilog is a taint-lite pass that keeps the measurement tool
+// from leaking its own persona's PII: values that look like (or are
+// typed as) the §3.1 persona schema — email, phone, address, names —
+// must not flow straight into log output or the standard streams.
+// Redact first (pii.Redact); the study's leak *detection* is unaffected
+// because detection never goes through a log sink.
+package piilog
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"piileak/internal/analysis"
+)
+
+// Analyzer is the piilog pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "piilog",
+	Doc: "flags persona PII (pii.Persona/pii.Field values, or identifiers " +
+		"named like email/phone/address/first_name/...) passed unredacted " +
+		"to log.*, fmt.Print*, or os.Stderr/os.Stdout writes",
+	Run: run,
+}
+
+// piiPkg is the package whose types carry the persona schema.
+const piiPkg = "piileak/internal/pii"
+
+// piiName matches identifiers and field names that, by convention,
+// hold raw PII. Bare "name" is deliberately excluded (far too common
+// for benign identifiers); the compound forms are matched instead.
+var piiName = regexp.MustCompile(`(?i)^(e[-_]?mail(addr(ess)?)?|phone(num(ber)?|_number)?|addr(ess)?|ssn|dob|date_?of_?birth|birth_?date|(first|last|full|sur|given|family)[-_]?name)$`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sink, args := sinkArgs(pass, call)
+			if sink == "" {
+				return true
+			}
+			for _, arg := range args {
+				checkArg(pass, sink, arg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sinkArgs classifies a call as a log sink and returns the payload
+// arguments (format strings included — they are checked too, cheaply).
+func sinkArgs(pass *analysis.Pass, call *ast.CallExpr) (string, []ast.Expr) {
+	info := pass.TypesInfo
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", nil
+	}
+	switch fn.Pkg().Path() {
+	case "log":
+		return "log." + fn.Name(), call.Args
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return "fmt." + fn.Name(), call.Args
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 {
+				if s := stdStream(info, call.Args[0]); s != "" {
+					return "fmt." + fn.Name() + "(os." + s + ", …)", call.Args[1:]
+				}
+			}
+		}
+	}
+	// Write/WriteString directly on os.Stderr / os.Stdout.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := stdStream(info, sel.X); s != "" && (fn.Name() == "Write" || fn.Name() == "WriteString") {
+			return "os." + s, call.Args
+		}
+	}
+	return "", nil
+}
+
+// stdStream reports "Stderr"/"Stdout" when expr resolves to that os
+// package variable.
+func stdStream(info *types.Info, expr ast.Expr) string {
+	o := analysis.ObjectOf(info, expr)
+	if o == nil || o.Pkg() == nil || o.Pkg().Path() != "os" {
+		return ""
+	}
+	if o.Name() == "Stderr" || o.Name() == "Stdout" {
+		return o.Name()
+	}
+	return ""
+}
+
+// checkArg walks one sink argument looking for raw PII, skipping
+// subtrees already routed through a pii.Redact* helper and the safe
+// pii.Field.Type selector (a type label, not a value).
+func checkArg(pass *analysis.Pass, sink string, arg ast.Expr) {
+	info := pass.TypesInfo
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := analysis.Callee(info, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == piiPkg && strings.HasPrefix(fn.Name(), "Redact") {
+				return false // sanitized
+			}
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if named(info.TypeOf(sel.X)) == "Field" && sel.Sel.Name == "Type" {
+				return false // the PII *kind*, safe to print
+			}
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if why := piiExpr(info, e); why != "" {
+			pass.Reportf(e.Pos(),
+				"%s flows into %s unredacted; persona PII must not reach logs — wrap it in pii.Redact",
+				why, sink)
+			return false
+		}
+		return true
+	})
+}
+
+// piiExpr reports a non-empty description when e carries raw PII.
+func piiExpr(info *types.Info, e ast.Expr) string {
+	switch named(info.TypeOf(e)) {
+	case "Persona":
+		return "a pii.Persona value"
+	case "Field":
+		return "a pii.Field value"
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if piiName.MatchString(e.Name) {
+			return "identifier " + e.Name
+		}
+	case *ast.SelectorExpr:
+		switch named(info.TypeOf(e.X)) {
+		case "Persona":
+			return "persona field " + e.Sel.Name
+		case "Field":
+			if e.Sel.Name == "Value" {
+				return "pii.Field.Value"
+			}
+			return ""
+		}
+		if piiName.MatchString(e.Sel.Name) {
+			return "field " + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// named reports the type name when t (or its pointee) is a named type
+// declared in the pii package.
+func named(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != piiPkg {
+		return ""
+	}
+	return n.Obj().Name()
+}

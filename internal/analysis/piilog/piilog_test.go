@@ -1,0 +1,12 @@
+package piilog_test
+
+import (
+	"testing"
+
+	"piileak/internal/analysis/analysistest"
+	"piileak/internal/analysis/piilog"
+)
+
+func TestPIILog(t *testing.T) {
+	analysistest.Run(t, ".", piilog.Analyzer, "a")
+}

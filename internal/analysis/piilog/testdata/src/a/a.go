@@ -1,0 +1,51 @@
+// Package a exercises piilog: persona-typed values and PII-named
+// identifiers reaching log sinks, redacted and non-sink negatives, and
+// suppression.
+package a
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"piileak/internal/pii"
+)
+
+func namedIdentifiers(email, phone string) {
+	log.Println(email)           // want `identifier email flows into log\.Println`
+	fmt.Printf("tel: %s", phone) // want `identifier phone flows into fmt\.Printf`
+	os.Stderr.WriteString(phone) // want `identifier phone flows into os\.Stderr`
+}
+
+func personaTyped(p pii.Persona) {
+	fmt.Println(p)                   // want `a pii\.Persona value flows into fmt\.Println`
+	fmt.Printf("%s", p.City)         // want `persona field City flows into fmt\.Printf`
+	fmt.Fprintln(os.Stderr, p.Email) // want `persona field Email flows into fmt\.Fprintln`
+	log.Printf("dob=%s", p.DOB)      // want `persona field DOB flows into log\.Printf`
+}
+
+func fieldTyped(f pii.Field) {
+	fmt.Println(f.Type)  // the PII kind is a safe label
+	fmt.Println(f.Value) // want `pii\.Field\.Value flows into fmt\.Println`
+}
+
+func structFieldNames() {
+	type account struct{ FirstName, Plan string }
+	a := account{}
+	log.Printf("%s on %s", a.FirstName, a.Plan) // want `field FirstName flows into log\.Printf`
+}
+
+func redacted(p pii.Persona, email string) {
+	fmt.Println(pii.Redact(p.Email)) // routed through the redaction helper
+	log.Println(pii.Redact(email))
+}
+
+func nonSinks(email string, w io.Writer) {
+	fmt.Fprintf(w, "%s", email)  // an arbitrary writer is not a log sink
+	_ = fmt.Sprintf("%s", email) // Sprint builds a value; flagged only if it later hits a sink
+}
+
+func suppressed(email string) {
+	log.Println(email) //lint:allow piilog fixture: suppression must hide this finding
+}

@@ -1,0 +1,36 @@
+package suite_test
+
+import (
+	"testing"
+
+	"piileak/internal/analysis"
+	"piileak/internal/analysis/suite"
+)
+
+// BenchmarkPiilint times the full lint pass — go list, parsing,
+// type-checking against export data, and all four analyzers — over
+// every package in the module. `make bench` records it in
+// BENCH_lint.json so analyzer cost rides the same perf trajectory as
+// the pipeline benchmarks.
+func BenchmarkPiilint(b *testing.B) {
+	root, err := analysis.ModuleRoot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var packages int
+	for i := 0; i < b.N; i++ {
+		pkgs, err := analysis.Load(root, "./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings, err := analysis.Run(pkgs, suite.Analyzers())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("repo not lint-clean: %v", findings[0])
+		}
+		packages = len(pkgs)
+	}
+	b.ReportMetric(float64(packages), "packages")
+}

@@ -1,0 +1,23 @@
+// Package suite registers the piilint analyzer set in its canonical
+// order. cmd/piilint, the self-check test, and the lint benchmark all
+// consume this one list so they can never disagree about what "the
+// suite" is.
+package suite
+
+import (
+	"piileak/internal/analysis"
+	"piileak/internal/analysis/closecheck"
+	"piileak/internal/analysis/detrand"
+	"piileak/internal/analysis/maporder"
+	"piileak/internal/analysis/piilog"
+)
+
+// Analyzers returns the full piilint suite, ordered by name.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		closecheck.Analyzer,
+		detrand.Analyzer,
+		maporder.Analyzer,
+		piilog.Analyzer,
+	}
+}

@@ -1,0 +1,92 @@
+package suite_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"piileak/internal/analysis"
+	"piileak/internal/analysis/suite"
+)
+
+// TestRepoIsLintClean is the acceptance gate: the shipped tree must
+// carry zero findings, with every deliberate exception annotated. A
+// failure here prints the same file:line diagnostics `make lint` does.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks every package in the module")
+	}
+	root := moduleRoot(t)
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(pkgs, suite.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestPiilintBinary builds cmd/piilint and checks both verdicts: exit 0
+// over this repo, and a file:line detrand diagnostic with exit 1 over a
+// scratch module seeded with a time.Now call.
+func TestPiilintBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the piilint binary")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "piilint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/piilint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building piilint: %v\n%s", err, out)
+	}
+
+	clean := exec.Command(bin, "./...")
+	clean.Dir = root
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("piilint over the repo should exit clean, got %v:\n%s", err, out)
+	}
+
+	seeded := t.TempDir()
+	writeFile(t, filepath.Join(seeded, "go.mod"), "module seed\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(seeded, "seed.go"), `package seed
+
+import "time"
+
+// Stamp is the canonical determinism bug piilint exists to catch.
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	dirty := exec.Command(bin, "./...")
+	dirty.Dir = seeded
+	out, err := dirty.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("piilint over the seeded module: want exit 1, got %v:\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "seed.go:6") || !strings.Contains(text, "detrand") {
+		t.Fatalf("diagnostic should name seed.go:6 and detrand:\n%s", text)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := analysis.ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

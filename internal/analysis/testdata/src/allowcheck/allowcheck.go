@@ -1,0 +1,16 @@
+// Package allowcheck exercises the framework's directive hygiene: an
+// allow comment without a reason suppresses nothing and is itself
+// reported.
+package allowcheck
+
+import "fmt"
+
+func ok() {
+	//lint:allow detrand
+	fmt.Println("the directive above is malformed: no reason given")
+}
+
+func fine() {
+	//lint:allow detrand fully formed directive parses silently
+	fmt.Println("well-formed")
+}

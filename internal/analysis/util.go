@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the function or method a call expression invokes,
+// looking through parentheses. It returns nil for calls through
+// function-typed variables, conversions, and built-ins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgCall reports whether call invokes a package-level function (or
+// method) from pkgPath whose name is in names.
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// IsWriter reports whether t (or *t) has a Write([]byte) (int, error)
+// method — i.e. it satisfies io.Writer. The signature is matched
+// structurally so the check needs no handle on the io package.
+func IsWriter(t types.Type) bool {
+	if hasWriteMethod(t) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Pointer); !ok {
+		return hasWriteMethod(types.NewPointer(t))
+	}
+	return false
+}
+
+func hasWriteMethod(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || fn.Name() != "Write" {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+			continue
+		}
+		p, ok := sig.Params().At(0).Type().(*types.Slice)
+		if !ok {
+			continue
+		}
+		if b, ok := p.Elem().(*types.Basic); !ok || b.Kind() != types.Byte {
+			continue
+		}
+		r0, ok := sig.Results().At(0).Type().(*types.Basic)
+		if !ok || r0.Kind() != types.Int {
+			continue
+		}
+		if named, ok := sig.Results().At(1).Type().(*types.Named); ok &&
+			named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// IsMap reports whether the expression's type is a map.
+func IsMap(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// ObjectOf resolves an identifier or the terminal selector of expr to
+// its object, or nil.
+func ObjectOf(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if o := info.Uses[e]; o != nil {
+			return o
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ package browser
 
 import (
 	"net/url"
+	"sort"
 	"strings"
 
 	"piileak/internal/dnssim"
@@ -162,10 +163,18 @@ func (b *Browser) cookiesFor(host, pageHost string) []httpmodel.Cookie {
 			}
 		}
 	}
-	for domain, cookies := range b.jar {
+	// Match domains first and walk them sorted: the jar is a map, and
+	// when several domains cover the host the emitted cookie order
+	// must not follow randomized map iteration.
+	var domains []string
+	for domain := range b.jar {
 		if host == domain || strings.HasSuffix(host, "."+domain) {
-			out = append(out, cookies...)
+			domains = append(domains, domain)
 		}
+	}
+	sort.Strings(domains)
+	for _, domain := range domains {
+		out = append(out, b.jar[domain]...)
 	}
 	return out
 }

@@ -200,7 +200,7 @@ func EvaluateBlocklistsIndexed(leaks []core.Leak, ix *httpmodel.RequestIndex, li
 		for _, perMethod := range eml {
 			var all []*leakVerdict
 			for _, vs := range perMethod {
-				all = append(all, vs...)
+				all = append(all, vs...) //lint:allow maporder coveredFor is an order-insensitive all-blocked predicate over the set
 			}
 			addTo := func(row *Table4Row) {
 				row.EasyList.Total++

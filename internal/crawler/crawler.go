@@ -346,12 +346,16 @@ func (d *Dataset) WriteJSONFile(path string) (err error) {
 
 // ReadJSONFile loads a dataset from a path, transparently decompressing
 // ".gz" files.
-func ReadJSONFile(path string) (*Dataset, error) {
+func ReadJSONFile(path string) (ds *Dataset, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("crawler: %w", err)
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("crawler: closing %s: %w", path, cerr)
+		}
+	}()
 	var r io.Reader = f
 	if strings.HasSuffix(path, ".gz") {
 		gz, err := gzip.NewReader(f)
@@ -361,7 +365,7 @@ func ReadJSONFile(path string) (*Dataset, error) {
 		defer gz.Close()
 		r = gz
 	}
-	ds, err := decodeDataset(r)
+	ds, err = decodeDataset(r)
 	if err != nil {
 		return nil, fmt.Errorf("crawler: reading %s: %w", path, err)
 	}

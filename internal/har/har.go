@@ -104,12 +104,16 @@ func Parse(r io.Reader) ([]httpmodel.Record, error) {
 }
 
 // ParseFile is Parse on a file path.
-func ParseFile(path string) ([]httpmodel.Record, error) {
+func ParseFile(path string) (recs []httpmodel.Record, err error) {
 	fh, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("har: %w", err)
 	}
-	defer fh.Close()
+	defer func() {
+		if cerr := fh.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("har: %w", cerr)
+		}
+	}()
 	return Parse(fh)
 }
 

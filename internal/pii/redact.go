@@ -1,0 +1,28 @@
+package pii
+
+import "strings"
+
+// Redact masks a PII value for safe display in logs and examples: the
+// first rune survives, the rest is starred, and an email keeps its
+// domain ("mariko…@x.example.com" → "m***@x.example.com"). The piilog
+// analyzer (internal/analysis/piilog) accepts values routed through
+// Redact as sanitized; everything else that looks like persona PII is
+// barred from log sinks.
+func Redact(s string) string {
+	if s == "" {
+		return ""
+	}
+	if at := strings.LastIndexByte(s, '@'); at >= 0 {
+		return mask(s[:at]) + "@" + s[at+1:]
+	}
+	return mask(s)
+}
+
+// mask keeps the first rune and replaces the remainder with "***".
+func mask(s string) string {
+	if s == "" {
+		return "***"
+	}
+	r := []rune(s)
+	return string(r[0]) + "***"
+}

@@ -1,0 +1,30 @@
+package pii
+
+import "testing"
+
+func TestRedact(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"mariko.tanaka2105@piistudy.example.com", "m***@piistudy.example.com"},
+		{"+81355550123", "+***"},
+		{"Mariko", "M***"},
+		{"@example.com", "***@example.com"},
+		{"Ω-unicode", "Ω***"},
+	}
+	for _, c := range cases {
+		if got := Redact(c.in); got != c.want {
+			t.Errorf("Redact(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRedactPersonaFields: every persona field must come out changed —
+// the redaction helper is what the piilog analyzer steers log sites
+// toward, so it must never be the identity on real PII.
+func TestRedactPersonaFields(t *testing.T) {
+	for _, f := range Default().Fields() {
+		if got := Redact(f.Value); got == f.Value {
+			t.Errorf("Redact(%q) left the %s value unchanged", f.Value, f.Type)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package resilience
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -146,6 +147,8 @@ type Clock interface {
 type RealClock struct{}
 
 // Now returns time.Now.
+//
+//lint:allow detrand RealClock is the one sanctioned wall-clock source; studies use VirtualClock
 func (RealClock) Now() time.Time { return time.Now() }
 
 // Sleep calls time.Sleep.
@@ -302,6 +305,7 @@ func (s *BreakerSet) Open() []string {
 			out = append(out, h)
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 
