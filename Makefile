@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt lint race bench fuzz check clean
+.PHONY: all build test vet fmt lint race bench fuzz torture check clean
 
 all: check
 
@@ -34,10 +34,18 @@ bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 	$(GO) test -json -bench '^BenchmarkPipeline$$' -benchmem -run '^$$' . > BENCH_pipeline.json
 	$(GO) test -json -bench '^BenchmarkPiilint$$' -benchmem -run '^$$' ./internal/analysis/suite > BENCH_lint.json
+	$(GO) test -json -bench '^BenchmarkWatchdog$$' -benchmem -run '^$$' . > BENCH_ctx.json
 
 # Short fuzz smoke for the dataset decoder hardening.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime 10s ./internal/crawler/
+
+# Crash-consistency torture: re-execs a checkpointing crawl subprocess,
+# kills it at seeded random points (including mid-record), resumes, and
+# asserts the final dataset, leaks and Tables 1/2/4 are byte-identical
+# to an uninterrupted run. -short trims the kill rounds for CI.
+torture:
+	$(GO) test -short -timeout 300s -count=1 -run '^TestTortureCrashConsistency$$' -v .
 
 # The gate every change must pass.
 check: fmt vet lint build race

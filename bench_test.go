@@ -1,9 +1,11 @@
 package piileak
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"piileak/internal/browser"
 	"piileak/internal/core"
@@ -276,7 +278,7 @@ func BenchmarkPipeline(b *testing.B) {
 			var res *pipeline.Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				res, err = pipeline.Run(eco, profile, det, pipeline.Options{
+				res, err = pipeline.Run(context.Background(), eco, profile, det, pipeline.Options{
 					CrawlWorkers: w, DetectWorkers: w,
 				})
 				if err != nil {
@@ -285,6 +287,36 @@ func BenchmarkPipeline(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(res.Leaks)), "leaks")
 			b.ReportMetric(float64(res.Stats.CaptureHighWater), "capture_high_water")
+		})
+	}
+}
+
+// BenchmarkWatchdog measures the crash-only runtime's overhead on the
+// fault-free paper-scale crawl: the stock resilient path against the
+// same crawl under a per-site watchdog budget, whose deadline check
+// rides on every fetch. The budget never trips fault-free (the virtual
+// clock only advances under injected faults), so the delta is pure
+// bookkeeping cost.
+func BenchmarkWatchdog(b *testing.B) {
+	s := study(b)
+	eco, profile := s.Eco, s.Config.Browser
+	for _, tc := range []struct {
+		name string
+		opts crawler.Options
+	}{
+		{"off", crawler.Options{}},
+		{"on", crawler.Options{SiteTimeout: time.Minute}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var records int
+			for i := 0; i < b.N; i++ {
+				ds, err := crawler.CrawlOpts(context.Background(), eco, profile, tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				records = ds.TotalRecords()
+			}
+			b.ReportMetric(float64(records), "records")
 		})
 	}
 }

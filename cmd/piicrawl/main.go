@@ -5,8 +5,9 @@
 // Usage:
 //
 //	piicrawl [-seed N] [-small] [-browser firefox|chrome|brave] [-o dataset.json]
-//	         [-workers N] [-funnel] [-stream]
+//	         [-workers N] [-funnel] [-stream] [-only domains]
 //	         [-faults RATE] [-fault-seed N] [-retries N]
+//	         [-site-timeout D] [-quarantine dir]
 //	         [-checkpoint file] [-resume]
 //
 // -faults opts the substrate into deterministic fault injection (a
@@ -15,6 +16,17 @@
 // breakers, and partial records instead of dropped sites. -checkpoint
 // persists per-site progress; -resume continues a killed run from that
 // file, producing the same dataset an uninterrupted run would have.
+// -site-timeout caps each site's crawl budget (on the run's clock, so
+// fault-injected virtual time counts); sites over budget are recorded as
+// "timeout" with their partial captures. -quarantine names a directory
+// that collects diagnostics bundles for sites whose crawl or detection
+// panicked; the study continues without them and -only re-runs them
+// individually.
+//
+// Shutdown is crash-only: the first SIGINT/SIGTERM cancels the run —
+// the site in flight is dropped, finished sites stay checkpointed, and
+// the process exits 0 with a valid, resumable checkpoint. A second
+// signal hard-exits immediately.
 //
 // -stream fuses crawl and detection into the streaming pipeline:
 // per-site captures are scanned as they complete and released
@@ -25,11 +37,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
 
 	"piileak/internal/browser"
 	"piileak/internal/core"
@@ -39,6 +58,7 @@ import (
 	"piileak/internal/pii"
 	"piileak/internal/pipeline"
 	"piileak/internal/resilience"
+	"piileak/internal/site"
 	"piileak/internal/webgen"
 )
 
@@ -52,6 +72,9 @@ func main() {
 	faults := flag.Float64("faults", 0, "fraction of hosts made faulty (0 disables fault injection)")
 	faultSeed := flag.Uint64("fault-seed", 0, "fault-injection seed (default: the ecosystem seed)")
 	retries := flag.Int("retries", 0, "max fetch attempts per request under faults (default 4)")
+	siteTimeout := flag.Duration("site-timeout", 0, "per-site watchdog budget on the run's clock (0 disables)")
+	quarantineDir := flag.String("quarantine", "", "directory collecting diagnostics for panicked sites")
+	only := flag.String("only", "", "comma-separated site domains to crawl (e.g. re-running quarantined sites)")
 	checkpoint := flag.String("checkpoint", "", "write per-site progress to this file")
 	resume := flag.Bool("resume", false, "resume a previous run from -checkpoint")
 	stream := flag.Bool("stream", false, "fuse crawl+detect: stream captures through detection, output leaks")
@@ -95,42 +118,54 @@ func main() {
 		fatal(fmt.Errorf("unknown browser %q", *browserName))
 	}
 
-	copts := crawler.Options{
-		Policy:         resilience.Policy{MaxAttempts: *retries},
-		CheckpointPath: *checkpoint,
-		Resume:         *resume,
+	var quarantine *crawler.Quarantine
+	if *quarantineDir != "" {
+		quarantine, err = crawler.NewQuarantine(*quarantineDir)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
+	copts := crawler.Options{
+		Policy:         resilience.Policy{MaxAttempts: *retries},
+		SiteTimeout:    *siteTimeout,
+		Quarantine:     quarantine,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+		OnResume: func(rs crawler.ResumeSummary) {
+			fmt.Fprintf(os.Stderr, "piicrawl: resume: %d sites loaded from checkpoint, %d torn records dropped\n",
+				rs.Completed, rs.TornRecords)
+		},
+	}
+	if *only != "" {
+		copts.Sites, err = selectSites(eco, *only)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	installSignalHandler(cancel)
+
 	if *stream {
-		streamRun(eco, profile, copts, *workers, *out, *funnel, *faults > 0)
+		streamRun(ctx, eco, profile, copts, *workers, *out, *checkpoint, *funnel, *faults > 0)
 		return
 	}
 
 	copts.Workers = *workers
-	ds, err := crawler.CrawlOpts(eco, profile, copts)
+	ds, err := crawler.CrawlOpts(ctx, eco, profile, copts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			exitInterrupted(*checkpoint)
+		}
 		fatal(err)
 	}
 
 	if *funnel {
-		counts := ds.FunnelCounts()
-		fmt.Fprintf(os.Stderr, "sites: %d  success: %d  unreachable: %d  no-auth: %d  signup-blocked: %d  captcha: %d  partial: %d\n",
-			len(ds.Crawls), counts[crawler.OutcomeSuccess], counts[crawler.OutcomeUnreachable],
-			counts[crawler.OutcomeNoAuthFlow], counts[crawler.OutcomeSignupBlocked],
-			counts[crawler.OutcomeCaptcha], counts[crawler.OutcomePartial])
-		fmt.Fprintf(os.Stderr, "records: %d  inbox mails: %d  spam mails: %d\n",
-			ds.TotalRecords(), ds.Mailbox.Count("inbox"), ds.Mailbox.Count("spam"))
-		if *faults > 0 {
-			attempts, retried, failed := 0, 0, 0
-			for _, c := range ds.Crawls {
-				attempts += c.Attempts
-				retried += c.Retries
-				failed += c.FailedFetches
-			}
-			fmt.Fprintf(os.Stderr, "fetch attempts: %d  retries: %d  failed fetches: %d\n",
-				attempts, retried, failed)
-		}
+		printFunnel(ds, ds.TotalRecords(), -1, *faults > 0)
 	}
+	printQuarantine(quarantine)
 
 	if *out != "" {
 		if err := ds.WriteJSONFile(*out); err != nil {
@@ -143,9 +178,113 @@ func main() {
 	}
 }
 
+// selectSites resolves a -only domain list against the ecosystem.
+func selectSites(eco *webgen.Ecosystem, only string) ([]*site.Site, error) {
+	want := map[string]bool{}
+	for _, d := range strings.Split(only, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			want[d] = true
+		}
+	}
+	var sel []*site.Site
+	for _, s := range eco.Sites {
+		if want[s.Domain] {
+			sel = append(sel, s)
+			delete(want, s.Domain)
+		}
+	}
+	if len(want) > 0 {
+		var missing []string
+		for d := range want {
+			missing = append(missing, d)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("-only: unknown site domains: %s", strings.Join(missing, ", "))
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("-only: no sites selected")
+	}
+	return sel, nil
+}
+
+// installSignalHandler wires crash-only shutdown: the first
+// SIGINT/SIGTERM cancels the run and bounds the drain on the wall
+// clock; a second signal (or a drain overrun) hard-exits.
+func installSignalHandler(cancel context.CancelFunc) {
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "piicrawl: interrupted: draining workers and flushing the checkpoint (signal again to hard-exit)")
+		cancel()
+		// Shutdown grace is genuinely wall time — a hung worker must
+		// not turn Ctrl-C into an indefinite hang.
+		grace, stop := context.WithTimeout(context.Background(), 30*time.Second) //lint:allow detrand CLI shutdown grace is wall time by design
+		defer stop()
+		select {
+		case <-sigc:
+			fmt.Fprintln(os.Stderr, "piicrawl: second signal: hard exit")
+		case <-grace.Done():
+			fmt.Fprintln(os.Stderr, "piicrawl: drain exceeded 30s grace: hard exit")
+		}
+		os.Exit(130)
+	}()
+}
+
+// exitInterrupted reports a cancelled run. With a checkpoint the exit is
+// the crash-only success path: progress is on disk and resumable.
+func exitInterrupted(checkpoint string) {
+	if checkpoint != "" {
+		fmt.Fprintf(os.Stderr, "piicrawl: interrupted: checkpoint %s is valid; continue with -resume -checkpoint %s\n",
+			checkpoint, checkpoint)
+		os.Exit(0)
+	}
+	fmt.Fprintln(os.Stderr, "piicrawl: interrupted: no checkpoint, progress lost (use -checkpoint for resumable runs)")
+	os.Exit(1)
+}
+
+// printFunnel writes the §3.2 funnel summary. captureHighWater < 0
+// means the batch path (no high-water gauge).
+func printFunnel(ds *crawler.Dataset, totalRecords, captureHighWater int, faulty bool) {
+	counts := ds.FunnelCounts()
+	fmt.Fprintf(os.Stderr, "sites: %d  success: %d  unreachable: %d  no-auth: %d  signup-blocked: %d  captcha: %d  partial: %d  timeout: %d  crashed: %d\n",
+		len(ds.Crawls), counts[crawler.OutcomeSuccess], counts[crawler.OutcomeUnreachable],
+		counts[crawler.OutcomeNoAuthFlow], counts[crawler.OutcomeSignupBlocked],
+		counts[crawler.OutcomeCaptcha], counts[crawler.OutcomePartial],
+		counts[crawler.OutcomeTimeout], counts[crawler.OutcomeCrashed])
+	if captureHighWater >= 0 {
+		fmt.Fprintf(os.Stderr, "records: %d  inbox mails: %d  spam mails: %d  capture high-water: %d sites\n",
+			totalRecords, ds.Mailbox.Count("inbox"), ds.Mailbox.Count("spam"), captureHighWater)
+	} else {
+		fmt.Fprintf(os.Stderr, "records: %d  inbox mails: %d  spam mails: %d\n",
+			totalRecords, ds.Mailbox.Count("inbox"), ds.Mailbox.Count("spam"))
+	}
+	if faulty {
+		attempts, retried, failed := 0, 0, 0
+		for _, c := range ds.Crawls {
+			attempts += c.Attempts
+			retried += c.Retries
+			failed += c.FailedFetches
+		}
+		fmt.Fprintf(os.Stderr, "fetch attempts: %d  retries: %d  failed fetches: %d\n",
+			attempts, retried, failed)
+	}
+}
+
+// printQuarantine lists quarantined sites; the study still succeeded,
+// so this is a report, not an error.
+func printQuarantine(q *crawler.Quarantine) {
+	if q.Len() == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "piicrawl: %d site(s) quarantined (see %s): %s\n",
+		q.Len(), q.ManifestPath(), strings.Join(q.Sites(), ", "))
+	fmt.Fprintf(os.Stderr, "piicrawl: re-run them individually with -only %s\n", strings.Join(q.Sites(), ","))
+}
+
 // streamRun executes the fused crawl+detect pipeline and writes the
 // detected leaks (indented JSON, same shape as Study.WriteLeaksJSON).
-func streamRun(eco *webgen.Ecosystem, profile browser.Profile, copts crawler.Options, workers int, out string, funnel, faulty bool) {
+func streamRun(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, copts crawler.Options, workers int, out, checkpoint string, funnel, faulty bool) {
 	cs, err := pii.BuildCandidates(eco.Persona, pii.CandidateConfig{MaxDepth: 2})
 	if err != nil {
 		fatal(err)
@@ -153,7 +292,7 @@ func streamRun(eco *webgen.Ecosystem, profile browser.Profile, copts crawler.Opt
 	det := core.NewDetector(cs, dnssim.NewClassifier(eco.Zone))
 
 	crawled := 0
-	res, err := pipeline.Run(eco, profile, det, pipeline.Options{
+	res, err := pipeline.Run(ctx, eco, profile, det, pipeline.Options{
 		CrawlWorkers:  workers,
 		DetectWorkers: workers,
 		Crawl:         copts,
@@ -169,29 +308,16 @@ func streamRun(eco *webgen.Ecosystem, profile browser.Profile, copts crawler.Opt
 		},
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			exitInterrupted(checkpoint)
+		}
 		fatal(err)
 	}
 
 	if funnel {
-		ds := res.Dataset
-		counts := ds.FunnelCounts()
-		fmt.Fprintf(os.Stderr, "sites: %d  success: %d  unreachable: %d  no-auth: %d  signup-blocked: %d  captcha: %d  partial: %d\n",
-			len(ds.Crawls), counts[crawler.OutcomeSuccess], counts[crawler.OutcomeUnreachable],
-			counts[crawler.OutcomeNoAuthFlow], counts[crawler.OutcomeSignupBlocked],
-			counts[crawler.OutcomeCaptcha], counts[crawler.OutcomePartial])
-		fmt.Fprintf(os.Stderr, "records: %d  inbox mails: %d  spam mails: %d  capture high-water: %d sites\n",
-			res.TotalRecords, ds.Mailbox.Count("inbox"), ds.Mailbox.Count("spam"), res.Stats.CaptureHighWater)
-		if faulty {
-			attempts, retried, failed := 0, 0, 0
-			for _, c := range ds.Crawls {
-				attempts += c.Attempts
-				retried += c.Retries
-				failed += c.FailedFetches
-			}
-			fmt.Fprintf(os.Stderr, "fetch attempts: %d  retries: %d  failed fetches: %d\n",
-				attempts, retried, failed)
-		}
+		printFunnel(res.Dataset, res.TotalRecords, res.Stats.CaptureHighWater, faulty)
 	}
+	printQuarantine(copts.Quarantine)
 
 	var w io.Writer = os.Stdout
 	if out != "" {

@@ -14,10 +14,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"piileak"
 	"piileak/internal/pipeline"
@@ -43,11 +48,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	installSignalHandler(cancel)
+
 	fmt.Fprintf(os.Stderr, "piirepro: crawling %d candidate sites with %s...\n",
 		len(study.Eco.Sites), cfg.Browser.Name)
 	if *stream {
 		crawled := 0
-		err = study.RunStream(pipeline.Options{
+		err = study.RunStreamContext(ctx, pipeline.Options{
 			Progress: func(ev pipeline.Event) {
 				if ev.Stage == "crawl" {
 					crawled = ev.Done
@@ -60,7 +70,11 @@ func main() {
 			},
 		})
 	} else {
-		err = study.Run()
+		err = study.RunContext(ctx)
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "piirepro: interrupted: crawl cancelled before completion; nothing written")
+		os.Exit(130)
 	}
 	if err != nil {
 		fatal(err)
@@ -103,6 +117,30 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// installSignalHandler wires crash-only shutdown: the first
+// SIGINT/SIGTERM cancels the run (workers drain, the site in flight is
+// dropped); a second signal or an overrun drain hard-exits.
+func installSignalHandler(cancel context.CancelFunc) {
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "piirepro: interrupted: draining workers (signal again to hard-exit)")
+		cancel()
+		// Shutdown grace is genuinely wall time — a hung worker must
+		// not turn Ctrl-C into an indefinite hang.
+		grace, stop := context.WithTimeout(context.Background(), 30*time.Second) //lint:allow detrand CLI shutdown grace is wall time by design
+		defer stop()
+		select {
+		case <-sigc:
+			fmt.Fprintln(os.Stderr, "piirepro: second signal: hard exit")
+		case <-grace.Done():
+			fmt.Fprintln(os.Stderr, "piirepro: drain exceeded 30s grace: hard exit")
+		}
+		os.Exit(130)
+	}()
 }
 
 func fatal(err error) {

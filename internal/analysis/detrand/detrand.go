@@ -15,9 +15,10 @@ import (
 // Analyzer is the detrand pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
-	Doc: "flags time.Now/time.Since, math/rand global-source functions, " +
-		"entropy-seeded rand.New, and map-range output in deterministic " +
-		"packages; these break byte-identical study reproduction",
+	Doc: "flags time.Now/time.Since, context.WithTimeout, math/rand " +
+		"global-source functions, entropy-seeded rand.New, and map-range " +
+		"output in deterministic packages; these break byte-identical " +
+		"study reproduction",
 	Run: run,
 }
 
@@ -73,6 +74,15 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 			"time.%s reads the wall clock, which breaks byte-identical reproduction across runs; "+
 				"thread a resilience.Clock instead (or //lint:allow detrand <reason> for measurement-only timing)",
 			fn.Name())
+		return
+	}
+
+	if analysis.IsPkgCall(info, call, "context", "WithTimeout") {
+		pass.Reportf(call.Pos(),
+			"context.WithTimeout anchors its deadline to the wall clock, which breaks byte-identical "+
+				"reproduction under a virtual clock; derive the deadline from the injected resilience.Clock "+
+				"(context.WithDeadline(ctx, clock.Now().Add(d))) or //lint:allow detrand <reason> where wall "+
+				"time is intended (CLI shutdown grace)")
 		return
 	}
 

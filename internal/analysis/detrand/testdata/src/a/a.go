@@ -3,6 +3,7 @@
 package a
 
 import (
+	"context"
 	mrand "math/rand"
 	"math/rand/v2"
 	"time"
@@ -39,6 +40,27 @@ func clockSeeded() {
 func suppressed() {
 	t := time.Now() //lint:allow detrand fixture: suppression must hide this finding
 	sink = t
+}
+
+func wallDeadline(ctx context.Context, clock interface{ Now() time.Time }) {
+	c1, stop1 := context.WithTimeout(ctx, 3*time.Second) // want `context\.WithTimeout anchors its deadline to the wall clock`
+	defer stop1()
+	sink = c1
+	// The sanctioned shape: deadline derived from the injected clock.
+	c2, stop2 := context.WithDeadline(ctx, clock.Now().Add(3*time.Second))
+	defer stop2()
+	sink = c2
+	// Wall-clock deadlines by another route are still the time.Now check's
+	// business.
+	c3, stop3 := context.WithDeadline(ctx, time.Now().Add(time.Second)) // want `time\.Now reads the wall clock`
+	defer stop3()
+	sink = c3
+}
+
+func suppressedDeadline(ctx context.Context) {
+	c, stop := context.WithTimeout(ctx, time.Second) //lint:allow detrand fixture: CLI shutdown grace uses wall time
+	defer stop()
+	sink = c
 }
 
 func timeArithmeticIsFine() {

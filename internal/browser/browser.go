@@ -12,6 +12,7 @@
 package browser
 
 import (
+	"context"
 	"net/url"
 	"sort"
 	"strings"
@@ -93,6 +94,12 @@ type Transport interface {
 type Browser struct {
 	Profile    Profile
 	Classifier *dnssim.Classifier
+
+	// Ctx, when non-nil, cancels the fetch loop: once it is done every
+	// request fails as an undelivered fetch, so a cancelled crawl's
+	// flow degrades and finishes instead of issuing further traffic.
+	// Reset does not clear it — cancellation outlives sessions.
+	Ctx context.Context
 
 	// Transport, when non-nil, gates every request on a (possibly
 	// faulty) network path.
@@ -203,6 +210,13 @@ func (b *Browser) Do(req httpmodel.Request, page string, phase httpmodel.Phase, 
 	host := req.Host()
 	if receiver, ok := b.allowed(host); !ok {
 		b.Blocked[receiver]++
+		return false
+	}
+	if b.Ctx != nil && b.Ctx.Err() != nil {
+		// The run is cancelled: the request never leaves the browser.
+		// It counts as a failed fetch, but the crawl engine discards
+		// the in-flight site's entry anyway.
+		b.FailedFetches++
 		return false
 	}
 	if b.Transport != nil {

@@ -26,8 +26,19 @@ type Checkpoint struct {
 	path    string
 	entries map[string]crawlEntry
 	order   []string // on-disk entry sequence, for the resume rewrite
+	torn    int      // non-empty lines dropped on load (crash-torn tail)
+	appends int      // lines appended this run, for the failpoint
 	closed  bool
 }
+
+// CheckpointFailpoint, when non-nil, is invoked around every checkpoint
+// append with an event name ("pre" before the line is written, "mid"
+// after only its first half reached the file, "post" after the synced
+// write) and the 1-based append count. The torture harness uses it to
+// kill the process at precise points; with the hook installed the line
+// is written in two halves so a "mid" kill leaves a genuinely torn
+// record on disk. Test-only; leave nil in production code.
+var CheckpointFailpoint func(event string, appends int)
 
 // checkpointHeader pins a checkpoint to one run: resuming under a
 // different seed, site population or browser silently mixes datasets,
@@ -138,17 +149,22 @@ func (c *Checkpoint) load(want checkpointHeader) error {
 		return fmt.Errorf("crawler: checkpoint %s: written for %s seed=%d sites=%d, resume requested for %s seed=%d sites=%d",
 			c.path, hdr.Browser, hdr.Seed, hdr.Sites, want.Browser, want.Seed, want.Sites)
 	}
-	for _, line := range lines[1:] {
+	rest := lines[1:]
+	for li, line := range rest {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
 		var e crawlEntry
-		if err := json.Unmarshal(line, &e); err != nil {
+		if err := json.Unmarshal(line, &e); err != nil || e.Crawl.Domain == "" {
 			// A torn tail from a killed run: everything before it is
-			// good, the in-flight site re-crawls.
-			break
-		}
-		if e.Crawl.Domain == "" {
+			// good, the in-flight site re-crawls. Count what is being
+			// dropped so the resume summary can report it instead of
+			// discarding data silently.
+			for _, dropped := range rest[li:] {
+				if len(bytes.TrimSpace(dropped)) > 0 {
+					c.torn++
+				}
+			}
 			break
 		}
 		if _, dup := c.entries[e.Crawl.Domain]; dup {
@@ -158,6 +174,15 @@ func (c *Checkpoint) load(want checkpointHeader) error {
 		c.order = append(c.order, e.Crawl.Domain)
 	}
 	return nil
+}
+
+// TornRecords reports how many non-empty lines the load dropped as a
+// crash-torn tail. Safe on a nil receiver.
+func (c *Checkpoint) TornRecords() int {
+	if c == nil {
+		return 0
+	}
+	return c.torn
 }
 
 // lookup returns a completed site's entry. Safe on a nil receiver — the
@@ -188,11 +213,28 @@ func (c *Checkpoint) Append(e crawlEntry) error {
 	line = append(line, '\n')
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := c.f.Write(line); err != nil {
+	c.appends++
+	if fp := CheckpointFailpoint; fp != nil {
+		// Torture mode: write the line in two unbuffered halves with a
+		// hook between them, so a kill at "mid" tears the record on
+		// disk exactly the way a real crash mid-write would.
+		fp("pre", c.appends)
+		half := len(line) / 2
+		if _, err := c.f.Write(line[:half]); err != nil {
+			return fmt.Errorf("crawler: checkpoint %s: %w", c.path, err)
+		}
+		fp("mid", c.appends)
+		if _, err := c.f.Write(line[half:]); err != nil {
+			return fmt.Errorf("crawler: checkpoint %s: %w", c.path, err)
+		}
+	} else if _, err := c.f.Write(line); err != nil {
 		return fmt.Errorf("crawler: checkpoint %s: %w", c.path, err)
 	}
 	if err := c.f.Sync(); err != nil {
 		return fmt.Errorf("crawler: checkpoint %s: %w", c.path, err)
+	}
+	if fp := CheckpointFailpoint; fp != nil {
+		fp("post", c.appends)
 	}
 	c.entries[e.Crawl.Domain] = e
 	c.order = append(c.order, e.Crawl.Domain)

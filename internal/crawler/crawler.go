@@ -8,6 +8,7 @@ package crawler
 
 import (
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -40,6 +41,14 @@ const (
 	// carries only the traffic up to the broken step instead of
 	// dropping the site outright.
 	OutcomePartial Outcome = "partial"
+	// OutcomeTimeout marks a site that exceeded its watchdog budget
+	// (Options.SiteTimeout): the flow was cut off at the deadline and
+	// the record keeps the partial captures up to that point.
+	OutcomeTimeout Outcome = "timeout"
+	// OutcomeCrashed marks a site whose crawl or detection panicked.
+	// The panic is recovered, the site is quarantined with a
+	// diagnostics bundle, and the study continues without it.
+	OutcomeCrashed Outcome = "crashed"
 )
 
 // SiteCrawl is the captured traffic of one site visit.
@@ -161,8 +170,8 @@ func CrawlSenders(eco *webgen.Ecosystem, profile browser.Profile) *Dataset {
 
 // CrawlSites crawls a chosen site subset.
 func CrawlSites(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site) *Dataset {
-	// Without a checkpoint the serial loop cannot fail.
-	ds, _ := crawlSerial(eco, profile, sites, Options{})
+	// Without a checkpoint or cancellation the serial loop cannot fail.
+	ds, _ := crawlSerial(context.Background(), eco, profile, sites, Options{})
 	return ds
 }
 

@@ -2,6 +2,7 @@ package crawler
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -56,7 +57,7 @@ func TestFaultFreeOptsMatchStockCrawl(t *testing.T) {
 	eco := webgen.MustGenerate(webgen.SmallConfig(11))
 	want := datasetBytes(t, Crawl(eco, browser.Firefox88()))
 
-	viaOpts, err := CrawlOpts(eco, browser.Firefox88(), Options{})
+	viaOpts, err := CrawlOpts(context.Background(), eco, browser.Firefox88(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestFaultParallelMatchesSerialAllWorkerCounts(t *testing.T) {
 	// The acceptance bar: Workers ∈ {0, 1, 4, 8} under injected faults
 	// produce the same dataset — same funnel, same leaks, same Table 1.
 	serialEco := faultyEcosystem(t, 37, 0.3)
-	serial, err := CrawlOpts(serialEco, browser.Firefox88(), Options{})
+	serial, err := CrawlOpts(context.Background(), serialEco, browser.Firefox88(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestFaultParallelMatchesSerialAllWorkerCounts(t *testing.T) {
 
 	for _, workers := range []int{1, 4, 8} {
 		eco := faultyEcosystem(t, 37, 0.3)
-		ds, err := CrawlOpts(eco, browser.Firefox88(), Options{Workers: workers})
+		ds, err := CrawlOpts(context.Background(), eco, browser.Firefox88(), Options{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

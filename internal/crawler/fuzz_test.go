@@ -21,6 +21,7 @@ func FuzzReadJSON(f *testing.F) {
 	w.Close()
 
 	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // kill mid-record: JSON truncated between syncs
 	f.Add([]byte("{broken"))
 	f.Add([]byte(`{"crawls":[{"domain":"a.com"},{"domain":"a.com"}]}`))
 	f.Add(gz.Bytes())

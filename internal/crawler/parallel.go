@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"runtime"
 
 	"piileak/internal/browser"
@@ -17,7 +18,7 @@ import (
 //
 // workers <= 0 selects GOMAXPROCS.
 func CrawlParallel(eco *webgen.Ecosystem, profile browser.Profile, workers int) *Dataset {
-	ds, _ := crawlParallel(eco, profile, eco.Sites, workers, Options{})
+	ds, _ := crawlParallel(context.Background(), eco, profile, eco.Sites, workers, Options{})
 	return ds
 }
 
@@ -26,12 +27,12 @@ func CrawlParallel(eco *webgen.Ecosystem, profile browser.Profile, workers int) 
 // order — which is what keeps the dataset byte-identical to serial.
 // Each index is emitted exactly once, so the concurrent slot writes
 // never race.
-func crawlParallel(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, workers int, opts Options) (*Dataset, error) {
+func crawlParallel(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, workers int, opts Options) (*Dataset, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	results := make([]crawlEntry, len(sites))
-	err := streamCrawl(eco, profile, sites, workers, opts, func(i int, e crawlEntry) error {
+	err := streamCrawl(ctx, eco, profile, sites, workers, opts, func(i int, e crawlEntry) error {
 		results[i] = e
 		return nil
 	})

@@ -1,0 +1,181 @@
+package crawler
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"sync"
+)
+
+// Quarantine is where panicked sites land: one diagnostics bundle per
+// crashed site, written as <domain>.json next to an append-only
+// MANIFEST.jsonl, so a poison site can be inspected and re-run
+// individually (piicrawl -only <domain>) while the study continues.
+//
+// The quarantine is diagnostics, not dataset: bundle files are written
+// in completion order and never feed back into analysis, so they carry
+// wall-context (stacks) without threatening determinism.
+type Quarantine struct {
+	mu      sync.Mutex
+	dir     string
+	bundles []CrashBundle
+}
+
+// Bundle stage markers.
+const (
+	StageCrawl  = "crawl"
+	StageDetect = "detect"
+)
+
+// CrashBundle is one quarantined site's diagnostics: everything needed
+// to reproduce the crash in isolation — the stage that panicked, the
+// ecosystem and fault seeds, the last request in flight, and the stack.
+type CrashBundle struct {
+	Stage       string  `json:"stage"` // "crawl" or "detect"
+	Domain      string  `json:"domain"`
+	Rank        int     `json:"rank"`
+	Panic       string  `json:"panic"`
+	Stack       string  `json:"stack"`
+	EcoSeed     uint64  `json:"eco_seed"`
+	FaultSeed   uint64  `json:"fault_seed,omitempty"`
+	LastRequest string  `json:"last_request,omitempty"`
+	Records     int     `json:"records"`
+	Outcome     Outcome `json:"outcome"`
+}
+
+// NewQuarantine opens (creating if needed) a quarantine directory.
+func NewQuarantine(dir string) (*Quarantine, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("crawler: quarantine %s: %w", dir, err)
+	}
+	return &Quarantine{dir: dir}, nil
+}
+
+// ManifestPath returns the quarantine's manifest file path.
+func (q *Quarantine) ManifestPath() string {
+	return filepath.Join(q.dir, "MANIFEST.jsonl")
+}
+
+// Add records one crashed site: the bundle file is written whole
+// (atomic temp + rename) and a line is appended to the manifest. Safe
+// on a nil receiver — the no-quarantine-dir path, where the crash is
+// still recovered and the site still marked OutcomeCrashed, just
+// without persisted diagnostics. Persistence errors are swallowed: a
+// full disk under the quarantine dir must not kill the study the
+// quarantine exists to protect.
+func (q *Quarantine) Add(b CrashBundle) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.bundles = append(q.bundles, b)
+
+	data, err := json.MarshalIndent(b, "", " ")
+	if err != nil {
+		return
+	}
+	path := filepath.Join(q.dir, b.Domain+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return
+	}
+
+	line, err := json.Marshal(b)
+	if err != nil {
+		return
+	}
+	f, err := os.OpenFile(q.ManifestPath(), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close() //lint:allow closecheck quarantine persistence is best-effort by design; the write is synced above the close
+	f.Write(append(line, '\n'))
+	f.Sync()
+}
+
+// Len reports how many sites are quarantined.
+func (q *Quarantine) Len() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.bundles)
+}
+
+// Sites returns the quarantined domains, sorted — parallel workers add
+// bundles in completion order, and the summary must not echo that
+// nondeterminism.
+func (q *Quarantine) Sites() []string {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]string, 0, len(q.bundles))
+	for _, b := range q.bundles {
+		out = append(out, b.Domain)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bundles returns a copy of the collected bundles, sorted by domain.
+func (q *Quarantine) Bundles() []CrashBundle {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := append([]CrashBundle(nil), q.bundles...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+// ReadManifest loads a quarantine manifest's bundles.
+func ReadManifest(path string) ([]CrashBundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: quarantine manifest: %w", err)
+	}
+	defer f.Close() //lint:allow closecheck read-only open; close cannot lose data
+	var out []CrashBundle
+	dec := json.NewDecoder(f)
+	for dec.More() {
+		var b CrashBundle
+		if err := dec.Decode(&b); err != nil {
+			return out, fmt.Errorf("crawler: quarantine manifest %s: %w", path, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// BundleFor assembles the diagnostics for a recovered panic. It must
+// be called from inside the recovering deferred function so the stack
+// it captures still shows the panicking frames.
+func BundleFor(stage string, crawl *SiteCrawl, ecoSeed, faultSeed uint64, panicked any) CrashBundle {
+	b := CrashBundle{
+		Stage:     stage,
+		Domain:    crawl.Domain,
+		Rank:      crawl.Rank,
+		Panic:     fmt.Sprint(panicked),
+		Stack:     string(debug.Stack()),
+		EcoSeed:   ecoSeed,
+		FaultSeed: faultSeed,
+		Records:   len(crawl.Records),
+		Outcome:   crawl.Outcome,
+	}
+	if n := len(crawl.Records); n > 0 {
+		b.LastRequest = crawl.Records[n-1].Request.URL
+	}
+	return b
+}

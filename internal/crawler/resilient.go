@@ -1,7 +1,9 @@
 package crawler
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"piileak/internal/browser"
 	"piileak/internal/dnssim"
@@ -14,9 +16,9 @@ import (
 
 // This file is the resilient crawl runtime: the glue between faultsim's
 // injected failures and the §3.2 flow. Every site crawl gets its own
-// transport — per-host attempt counters, circuit breakers and a virtual
-// clock — so serial, parallel and resumed runs of the same seed produce
-// byte-identical datasets.
+// transport — per-host attempt counters, circuit breakers, a virtual
+// clock and a watchdog deadline — so serial, parallel and resumed runs
+// of the same seed produce byte-identical datasets.
 
 // Options configures a crawl beyond the stock fault-free defaults.
 type Options struct {
@@ -32,32 +34,57 @@ type Options struct {
 	// Policy tunes retry/backoff/breaker behaviour; zero fields take
 	// resilience.DefaultPolicy values.
 	Policy resilience.Policy
+	// SiteTimeout is the per-site watchdog budget: a site whose crawl
+	// exceeds it (on the transport's clock, so virtual-clock runs stay
+	// deterministic) is cut off and recorded as OutcomeTimeout with its
+	// partial captures kept. <= 0 disables the watchdog.
+	SiteTimeout time.Duration
+	// Quarantine, when set, receives a diagnostics bundle for every
+	// site whose crawl (or detection, in the pipeline) panicked. A nil
+	// quarantine still recovers panics and marks the site
+	// OutcomeCrashed; the bundle is simply not persisted.
+	Quarantine *Quarantine
 	// CheckpointPath, when set, persists per-site progress so an
 	// interrupted run can continue; Resume loads the file's completed
 	// sites instead of re-crawling them.
 	CheckpointPath string
 	Resume         bool
+	// OnResume, when set together with Resume, is called once with the
+	// loaded checkpoint's summary before crawling begins.
+	OnResume func(ResumeSummary)
 }
 
-// CrawlOpts runs a crawl under explicit options.
-func CrawlOpts(eco *webgen.Ecosystem, profile browser.Profile, opts Options) (*Dataset, error) {
+// ResumeSummary describes what a resumed run recovered from its
+// checkpoint: the completed sites it will not re-crawl, and the
+// torn (crash-truncated or corrupt) trailing records it dropped.
+type ResumeSummary struct {
+	Completed   int `json:"completed"`
+	TornRecords int `json:"torn_records"`
+}
+
+// CrawlOpts runs a crawl under explicit options. ctx cancels the run
+// between sites and interrupts in-flight retry backoffs; the entry being
+// crawled when cancellation lands is discarded (never checkpointed or
+// emitted), so a resumed run stays byte-identical to an uninterrupted
+// one.
+func CrawlOpts(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, opts Options) (*Dataset, error) {
 	sites := opts.Sites
 	if sites == nil {
 		sites = eco.Sites
 	}
 	if opts.Workers > 0 {
-		return crawlParallel(eco, profile, sites, opts.Workers, opts)
+		return crawlParallel(ctx, eco, profile, sites, opts.Workers, opts)
 	}
-	return crawlSerial(eco, profile, sites, opts)
+	return crawlSerial(ctx, eco, profile, sites, opts)
 }
 
 // ResumeCrawl continues an interrupted checkpointed crawl: completed
 // sites come from the checkpoint, the remainder are crawled, and the
 // merged dataset is identical to an uninterrupted run's.
-func ResumeCrawl(eco *webgen.Ecosystem, profile browser.Profile, path string, opts Options) (*Dataset, error) {
+func ResumeCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, path string, opts Options) (*Dataset, error) {
 	opts.CheckpointPath = path
 	opts.Resume = true
-	return CrawlOpts(eco, profile, opts)
+	return CrawlOpts(ctx, eco, profile, opts)
 }
 
 // injectorFor resolves the effective injector for a crawl.
@@ -68,36 +95,95 @@ func injectorFor(eco *webgen.Ecosystem, opts Options) *faultsim.Injector {
 	return eco.Faults
 }
 
+// watchdogError is the non-transient failure a tripped site watchdog
+// injects into every further fetch: the executor does not retry it, so
+// the flow degrades at the next gate and the site finishes immediately.
+type watchdogError struct {
+	host   string
+	budget time.Duration
+}
+
+func (e watchdogError) Error() string {
+	return fmt.Sprintf("crawler: %s: site exceeded %v watchdog budget", e.host, e.budget)
+}
+
 // faultTransport is one site crawl's network path: injected faults from
-// the injector, DNS flakiness through a hooked resolver, and retry +
-// backoff + per-host circuit breakers from the resilience executor. All
-// state is scoped to the one crawl, which is what keeps parallel and
-// serial runs identical. A nil *faultTransport is the fault-free path.
+// the injector, DNS flakiness through a hooked resolver, retry +
+// backoff + per-host circuit breakers from the resilience executor, and
+// the per-site watchdog deadline. All state is scoped to the one crawl,
+// which is what keeps parallel and serial runs identical. A nil
+// *faultTransport is the fault-free, watchdog-free path.
 type faultTransport struct {
+	ctx      context.Context
 	inj      *faultsim.Injector
 	exec     *resilience.Executor
 	resolver *dnssim.Resolver
 	hits     map[string]int // per-host non-DNS fetch attempts
 	total    int            // every attempt, for SiteCrawl.Attempts
+
+	// deadline is the watchdog cutoff on the executor's clock; zero
+	// means no watchdog. timedOut latches once the deadline passes.
+	deadline time.Time
+	budget   time.Duration
+	timedOut bool
 }
 
 // newFaultTransport builds a transport for one site crawl; nil injector
-// yields nil (no transport, no overhead).
-func newFaultTransport(eco *webgen.Ecosystem, inj *faultsim.Injector, policy resilience.Policy) *faultTransport {
-	if inj == nil {
+// with no watchdog yields nil (no transport, no overhead, byte-identical
+// fault-free records).
+func newFaultTransport(ctx context.Context, eco *webgen.Ecosystem, inj *faultsim.Injector, opts Options) *faultTransport {
+	if inj == nil && opts.SiteTimeout <= 0 {
 		return nil
 	}
-	return &faultTransport{
-		inj:      inj,
-		exec:     resilience.NewExecutor(policy, nil, inj.Seed()),
-		resolver: dnssim.NewResolver(eco.Zone, inj.DNSHook()),
-		hits:     map[string]int{},
+	seed := eco.Config.Seed
+	if inj != nil {
+		seed = inj.Seed()
 	}
+	t := &faultTransport{
+		ctx:  ctx,
+		inj:  inj,
+		exec: resilience.NewExecutor(opts.Policy, nil, seed),
+		hits: map[string]int{},
+	}
+	if inj != nil {
+		t.resolver = dnssim.NewResolver(eco.Zone, inj.DNSHook())
+	}
+	if opts.SiteTimeout > 0 {
+		t.budget = opts.SiteTimeout
+		t.deadline = t.exec.Clock.Now().Add(opts.SiteTimeout)
+	}
+	return t
 }
 
-// Fetch attempts delivery to host under the retry/breaker budget.
+// watchdogErr reports whether the site's budget is spent, latching the
+// timeout flag the outcome override reads after the flow finishes.
+func (t *faultTransport) watchdogErr(host string) error {
+	if t.deadline.IsZero() || t.exec.Clock.Now().Before(t.deadline) {
+		return nil
+	}
+	t.timedOut = true
+	return watchdogError{host: host, budget: t.budget}
+}
+
+// Fetch attempts delivery to host under the retry/breaker budget and
+// the site watchdog.
 func (t *faultTransport) Fetch(host string) error {
-	return t.exec.Do(host, func() error {
+	if err := t.watchdogErr(host); err != nil {
+		return err
+	}
+	if t.inj == nil {
+		// Watchdog-only transport: nothing can fail, so skip the
+		// retry/breaker machinery entirely — fault-free runs with a
+		// site budget must stay byte-identical to runs without one.
+		return nil
+	}
+	return t.exec.DoContext(t.ctx, host, func() error {
+		// The previous attempt's fault delay or backoff may have spent
+		// the site's budget; a watchdog error is not transient, so the
+		// executor stops retrying immediately.
+		if err := t.watchdogErr(host); err != nil {
+			return err
+		}
 		t.total++
 		// DNS leg: flaky resolution fails before any connection.
 		if _, err := t.resolver.Lookup(host); err != nil {
@@ -122,6 +208,10 @@ func (t *faultTransport) Fetch(host string) error {
 		case faultsim.KindTimeout:
 			t.exec.Clock.Sleep(budget)
 			return f
+		case faultsim.KindPanic:
+			// The injected crash: the worker's recover quarantines
+			// this site and the study continues.
+			panic(fmt.Sprintf("crawler: injected panic fetching %s: %v", host, f))
 		default:
 			return f
 		}
@@ -130,13 +220,19 @@ func (t *faultTransport) Fetch(host string) error {
 
 // account stamps the runtime's counters onto a finished site record.
 // Safe on a nil receiver (the fault-free path), where it must leave the
-// record untouched so default datasets stay byte-identical.
+// record untouched so default datasets stay byte-identical. A
+// watchdog-only transport (nil injector) stamps failed fetches alone:
+// attempts/retries would be non-zero on every site and break fault-free
+// byte-identity, while failed fetches stay zero unless the watchdog
+// actually tripped.
 func (t *faultTransport) account(c *SiteCrawl, b *browser.Browser) {
 	if t == nil {
 		return
 	}
-	c.Attempts = t.total
-	c.Retries = t.exec.Retries
+	if t.inj != nil {
+		c.Attempts = t.total
+		c.Retries = t.exec.Retries
+	}
 	c.FailedFetches = b.FailedFetches
 }
 
@@ -149,13 +245,6 @@ type crawlEntry struct {
 	Blocked map[string]int    `json:"blocked,omitempty"`
 }
 
-// crawlEntryFor runs one site through the flow and packages the result.
-func crawlEntryFor(b *browser.Browser, eco *webgen.Ecosystem, s *site.Site, rt *faultTransport) crawlEntry {
-	var mbox mailbox.Mailbox
-	crawl := crawlOne(b, s, eco.Persona, &mbox, rt)
-	return crawlEntry{Crawl: crawl, Mail: mbox.Messages, Blocked: b.Blocked}
-}
-
 // merge appends an entry to the dataset in site order.
 func (d *Dataset) merge(e crawlEntry) {
 	d.Crawls = append(d.Crawls, e.Crawl)
@@ -165,12 +254,56 @@ func (d *Dataset) merge(e crawlEntry) {
 	}
 }
 
+// crawlEntryFor runs one site through the flow and packages the result.
+// A panic anywhere in the flow is recovered here: the site is recorded
+// as OutcomeCrashed with whatever captures the browser holds, a
+// diagnostics bundle goes to the quarantine, and the crawl continues
+// with the next site.
+func crawlEntryFor(b *browser.Browser, eco *webgen.Ecosystem, s *site.Site, rt *faultTransport, q *Quarantine) (e crawlEntry) {
+	var mbox mailbox.Mailbox
+	defer func() {
+		if r := recover(); r != nil {
+			e = crashedEntry(b, eco, s, rt, &mbox, q, StageCrawl, r)
+		}
+	}()
+	crawl := crawlOne(b, s, eco.Persona, &mbox, rt)
+	if rt != nil && rt.timedOut {
+		// The watchdog cut the flow off mid-step; whatever outcome the
+		// degraded flow reached (partial, unreachable) is really a
+		// budget exhaustion, recorded as such with partial captures.
+		crawl.Outcome = OutcomeTimeout
+	}
+	return crawlEntry{Crawl: crawl, Mail: mbox.Messages, Blocked: b.Blocked}
+}
+
+// crashedEntry packages a panicked site: the quarantined record keeps
+// the partial captures and side effects gathered before the crash, so
+// the bundle is enough to re-run and debug the site in isolation.
+func crashedEntry(b *browser.Browser, eco *webgen.Ecosystem, s *site.Site, rt *faultTransport, mbox *mailbox.Mailbox, q *Quarantine, stage string, panicked any) crawlEntry {
+	crawl := SiteCrawl{
+		Domain:       s.Domain,
+		Rank:         s.Rank,
+		Outcome:      OutcomeCrashed,
+		Obstacle:     s.Obstacle,
+		EmailConfirm: s.EmailConfirm,
+		BotDetection: s.BotDetection,
+		Records:      b.Records,
+	}
+	rt.account(&crawl, b)
+	var faultSeed uint64
+	if rt != nil && rt.inj != nil {
+		faultSeed = rt.inj.Seed()
+	}
+	q.Add(BundleFor(stage, &crawl, eco.Config.Seed, faultSeed, panicked))
+	return crawlEntry{Crawl: crawl, Mail: mbox.Messages, Blocked: b.Blocked}
+}
+
 // crawlSerial is the single-browser loop behind Crawl/CrawlSites and
 // the checkpointing/resilient paths, built on the streaming engine:
 // serial emissions arrive in site order, so they merge directly.
-func crawlSerial(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, opts Options) (*Dataset, error) {
+func crawlSerial(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, opts Options) (*Dataset, error) {
 	ds := newDataset(eco, profile.Name+" "+profile.Version)
-	err := streamCrawl(eco, profile, sites, 1, opts, func(_ int, e crawlEntry) error {
+	err := streamCrawl(ctx, eco, profile, sites, 1, opts, func(_ int, e crawlEntry) error {
 		ds.merge(e)
 		return nil
 	})

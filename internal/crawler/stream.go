@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"sync"
 
 	"piileak/internal/browser"
@@ -36,13 +37,15 @@ type SiteResult struct {
 // consumer bounds the number of captures in flight. An emit error stops
 // the crawl. Checkpointing works exactly as in CrawlOpts: sites already
 // in the checkpoint are emitted first, in site order, without
-// re-crawling.
-func CrawlStream(eco *webgen.Ecosystem, profile browser.Profile, opts Options, emit func(SiteResult) error) error {
+// re-crawling. Cancelling ctx stops the crawl with ctx's error; the
+// site in flight at that moment is discarded, never checkpointed or
+// emitted.
+func CrawlStream(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, opts Options, emit func(SiteResult) error) error {
 	sites := opts.Sites
 	if sites == nil {
 		sites = eco.Sites
 	}
-	return streamCrawl(eco, profile, sites, opts.Workers, opts, func(i int, e crawlEntry) error {
+	return streamCrawl(ctx, eco, profile, sites, opts.Workers, opts, func(i int, e crawlEntry) error {
 		return emit(SiteResult{Index: i, Crawl: e.Crawl, Mail: e.Mail, Blocked: e.Blocked})
 	})
 }
@@ -65,7 +68,15 @@ func (d *Dataset) Merge(r SiteResult) {
 // pool (emissions in completion order, concurrent emit). Checkpointed
 // sites are emitted without crawling, then the remainder is fed to the
 // workers.
-func streamCrawl(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, workers int, opts Options, emit func(int, crawlEntry) error) error {
+//
+// Cancellation is crash-only: a done ctx stops the loop before the next
+// site, and a site mid-crawl when cancellation lands is dropped on the
+// floor — the checkpoint then holds exactly a prefix of the
+// uninterrupted run, which is what makes resume byte-identical.
+func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, workers int, opts Options, emit func(int, crawlEntry) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	inj := injectorFor(eco, opts)
 
 	var ckpt *Checkpoint
@@ -76,18 +87,30 @@ func streamCrawl(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.S
 			return err
 		}
 		defer ckpt.Close()
+		if opts.Resume && opts.OnResume != nil {
+			opts.OnResume(ResumeSummary{Completed: ckpt.Done(), TornRecords: ckpt.TornRecords()})
+		}
 	}
 
 	if workers <= 1 {
 		b := browser.New(profile, eco.Zone)
+		b.Ctx = ctx
 		for i, s := range sites {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if e, ok := ckpt.lookup(s.Domain); ok {
 				if err := emit(i, e); err != nil {
 					return err
 				}
 				continue
 			}
-			e := crawlEntryFor(b, eco, s, newFaultTransport(eco, inj, opts.Policy))
+			e := crawlEntryFor(b, eco, s, newFaultTransport(ctx, eco, inj, opts), opts.Quarantine)
+			if err := ctx.Err(); err != nil {
+				// Cancelled mid-site: the entry is abandoned so the
+				// checkpoint stays a clean prefix.
+				return err
+			}
 			if ckpt != nil {
 				if err := ckpt.Append(e); err != nil {
 					return err
@@ -141,8 +164,15 @@ func streamCrawl(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.S
 		go func() {
 			defer wg.Done()
 			b := browser.New(profile, eco.Zone)
+			b.Ctx = ctx
 			for i := range next {
-				e := crawlEntryFor(b, eco, sites[i], newFaultTransport(eco, inj, opts.Policy))
+				e := crawlEntryFor(b, eco, sites[i], newFaultTransport(ctx, eco, inj, opts), opts.Quarantine)
+				if err := ctx.Err(); err != nil {
+					// Drop the in-flight entry; the checkpoint keeps
+					// only sites finished before cancellation.
+					fail(err)
+					return
+				}
 				if ckpt != nil {
 					if err := ckpt.Append(e); err != nil {
 						fail(err)
@@ -162,6 +192,9 @@ feed:
 		select {
 		case next <- i:
 		case <-stop:
+			break feed
+		case <-ctx.Done():
+			fail(ctx.Err())
 			break feed
 		}
 	}

@@ -41,9 +41,16 @@ const (
 	KindSlow Kind = "slow_response"
 	// KindTruncated is a response body cut off mid-transfer.
 	KindTruncated Kind = "truncated_body"
+	// KindPanic makes the transport panic instead of returning an
+	// error — the poison-site case the crash-only runtime quarantines.
+	// It is deliberately absent from AllKinds: the seeded assignment
+	// must stay stable, so panics are only injected when a Config pins
+	// them explicitly (Kinds or Hosts).
+	KindPanic Kind = "panic"
 )
 
-// AllKinds lists every fault kind, in the order the injector draws from.
+// AllKinds lists every fault kind the seeded assignment draws from, in
+// draw order. KindPanic is excluded; see its doc.
 func AllKinds() []Kind {
 	return []Kind{KindDNS, KindTimeout, KindHTTP5xx, KindSlow, KindTruncated}
 }

@@ -19,6 +19,7 @@
 package pipeline
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -29,6 +30,13 @@ import (
 	"piileak/internal/tracking"
 	"piileak/internal/webgen"
 )
+
+// Detector is what the detection stage needs from a scanner. The
+// production implementation is *core.Detector; tests substitute
+// misbehaving detectors to exercise the crash-only path.
+type Detector interface {
+	DetectSite(siteDomain string, records []httpmodel.Record) []core.Leak
+}
 
 // Options configures a streamed study run.
 type Options struct {
@@ -136,9 +144,34 @@ type siteOutput struct {
 	records int
 }
 
+// detectGuarded runs detection on one capture with panic isolation: a
+// detector that blows up on a poison site loses that site (recorded as
+// OutcomeCrashed and quarantined with its stack), not the study.
+func detectGuarded(det Detector, out *siteOutput, eco *webgen.Ecosystem, copts crawler.Options) {
+	defer func() {
+		if r := recover(); r != nil {
+			out.leaks = nil
+			out.res.Crawl.Outcome = crawler.OutcomeCrashed
+			var faultSeed uint64
+			if inj := copts.Faults; inj != nil {
+				faultSeed = inj.Seed()
+			} else if eco.Faults != nil {
+				faultSeed = eco.Faults.Seed()
+			}
+			copts.Quarantine.Add(crawler.BundleFor(crawler.StageDetect, &out.res.Crawl, eco.Config.Seed, faultSeed, r))
+		}
+	}()
+	out.leaks = det.DetectSite(out.res.Crawl.Domain, out.res.Crawl.Records)
+}
+
 // Run executes the fused crawl+detect+accumulate pipeline and returns
-// the shared result store.
-func Run(eco *webgen.Ecosystem, profile browser.Profile, det *core.Detector, opts Options) (*Result, error) {
+// the shared result store. Cancelling ctx stops the crawl stage (the
+// site in flight is discarded, exactly as in crawler.CrawlStream); the
+// detect and accumulate stages drain what was already captured before
+// Run returns ctx's error, so a checkpointed run is left resumable. A
+// panicking detector does not kill the run: the site is marked
+// OutcomeCrashed, quarantined (opts.Crawl.Quarantine), and skipped.
+func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, det Detector, opts Options) (*Result, error) {
 	sites := opts.Crawl.Sites
 	if sites == nil {
 		sites = eco.Sites
@@ -179,7 +212,7 @@ func Run(eco *webgen.Ecosystem, profile browser.Profile, det *core.Detector, opt
 	var crawlErr error
 	go func() {
 		defer close(captures)
-		crawlErr = crawler.CrawlStream(eco, profile, copts, func(r crawler.SiteResult) error {
+		crawlErr = crawler.CrawlStream(ctx, eco, profile, copts, func(r crawler.SiteResult) error {
 			g.inc()
 			captures <- r
 			progressMu.Lock()
@@ -204,7 +237,7 @@ func Run(eco *webgen.Ecosystem, profile browser.Profile, det *core.Detector, opt
 			for r := range captures {
 				out := siteOutput{res: r, records: len(r.Crawl.Records)}
 				if r.Crawl.Outcome == crawler.OutcomeSuccess {
-					out.leaks = det.DetectSite(r.Crawl.Domain, r.Crawl.Records)
+					detectGuarded(det, &out, eco, copts)
 				}
 				if len(out.leaks) > 0 {
 					out.reqs = httpmodel.ReduceRecords(r.Crawl.Records)

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestRunMatchesBatch(t *testing.T) {
 		{"serial", Options{KeepRecords: true}},
 		{"parallel", Options{CrawlWorkers: 4, DetectWorkers: 3, KeepRecords: true}},
 	} {
-		res, err := Run(eco, profile, det, tc.opts)
+		res, err := Run(context.Background(), eco, profile, det, tc.opts)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -83,7 +84,7 @@ func TestMemoryBound(t *testing.T) {
 		{"parallel", 4, 2, 2, 4 + 2 + 2},
 		{"wide", 8, 4, 1, 8 + 1 + 4},
 	} {
-		res, err := Run(eco, profile, det, Options{
+		res, err := Run(context.Background(), eco, profile, det, Options{
 			CrawlWorkers: tc.crawlW, DetectWorkers: tc.detectW, Buffer: tc.buffer,
 		})
 		if err != nil {
@@ -120,7 +121,7 @@ func TestProgressEvents(t *testing.T) {
 	eco, profile, det := fixture(t, 29)
 
 	crawlDone, detectDone, lastLeaks := 0, 0, -1
-	res, err := Run(eco, profile, det, Options{
+	res, err := Run(context.Background(), eco, profile, det, Options{
 		CrawlWorkers: 3, DetectWorkers: 2,
 		Progress: func(ev Event) {
 			switch ev.Stage {
@@ -158,7 +159,7 @@ func TestProgressEvents(t *testing.T) {
 // with the standalone computations over the leak list.
 func TestResultStoreViews(t *testing.T) {
 	eco, profile, det := fixture(t, 29)
-	res, err := Run(eco, profile, det, Options{CrawlWorkers: 2, DetectWorkers: 2})
+	res, err := Run(context.Background(), eco, profile, det, Options{CrawlWorkers: 2, DetectWorkers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,71 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// This file is the cancellation layer over the Clock abstraction: every
+// retry/backoff wait in the runtime goes through SleepContext, so a
+// cancelled crawl stops waiting immediately instead of finishing its
+// backoff first — while virtual-clock studies keep advancing instantly
+// and deterministically.
+
+// ContextSleeper is the optional Clock extension for cancellable waits.
+// Clocks that do not implement it fall back to an uninterruptible Sleep
+// preceded by a cancellation check.
+type ContextSleeper interface {
+	// SleepContext waits d or until ctx is done, whichever comes
+	// first, returning ctx.Err() when the wait was cut short.
+	SleepContext(ctx context.Context, d time.Duration) error
+}
+
+// SleepContext waits d on c, honouring ctx cancellation. A nil ctx
+// means no cancellation (context.Background semantics).
+func SleepContext(ctx context.Context, c Clock, d time.Duration) error {
+	if ctx == nil {
+		c.Sleep(d)
+		return nil
+	}
+	if cs, ok := c.(ContextSleeper); ok {
+		return cs.SleepContext(ctx, d)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Sleep(d)
+	return ctx.Err()
+}
+
+// SleepContext waits on a real timer, returning early when ctx is
+// cancelled mid-backoff — the crash-only runtime's "Ctrl-C must not
+// wait out an 8s backoff" path.
+func (RealClock) SleepContext(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// SleepContext advances the virtual clock instantly. A cancelled
+// context still short-circuits first, so cancellation behaves
+// identically under virtual and real clocks; an uncancelled virtual
+// wait never blocks, which is what keeps torture and fault tests
+// deterministic and fast.
+func (c *VirtualClock) SleepContext(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Sleep(d)
+	return nil
+}

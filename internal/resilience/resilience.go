@@ -12,6 +12,7 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -354,15 +355,26 @@ func NewExecutor(p Policy, clock Clock, seed uint64) *Executor {
 	return &Executor{Policy: p, Clock: clock, Seed: seed, Breakers: NewBreakerSet(p)}
 }
 
-// Do runs op under retry/backoff and key's circuit breaker. op is
-// called with nothing and must do its own attempt accounting (the
-// crawler's transport counts per-host fetches). Do returns nil on
-// success, ErrCircuitOpen (wrapped) when the breaker refused, or the
-// last attempt's error once the budget is spent.
+// Do runs op under retry/backoff and key's circuit breaker without
+// cancellation — DoContext with a background context.
 func (e *Executor) Do(key string, op func() error) error {
+	return e.DoContext(context.Background(), key, op)
+}
+
+// DoContext runs op under retry/backoff and key's circuit breaker. op
+// is called with nothing and must do its own attempt accounting (the
+// crawler's transport counts per-host fetches). It returns nil on
+// success, ErrCircuitOpen (wrapped) when the breaker refused, ctx's
+// error when the run was cancelled — before an attempt or during a
+// backoff wait, which is interrupted rather than slept out — or the
+// last attempt's error once the budget is spent.
+func (e *Executor) DoContext(ctx context.Context, key string, op func() error) error {
 	br := e.Breakers.Get(key)
 	var last error
 	for attempt := 1; attempt <= e.Policy.MaxAttempts; attempt++ {
+		if err := ctxErr(ctx, last); err != nil {
+			return err
+		}
 		if !br.Allow(e.Clock.Now()) {
 			if last != nil {
 				return fmt.Errorf("%w: %s (last error: %v)", ErrCircuitOpen, key, last)
@@ -379,9 +391,31 @@ func (e *Executor) Do(key string, op func() error) error {
 			return last
 		}
 		if attempt < e.Policy.MaxAttempts {
+			// The failure that just landed may have opened the breaker.
+			// Sleeping out the backoff would be pure waste — the next
+			// Allow refuses until the cooldown, which is longer than any
+			// backoff step — so fail fast with the breaker's verdict.
+			if br.State() == BreakerOpen {
+				return fmt.Errorf("%w: %s (last error: %v)", ErrCircuitOpen, key, last)
+			}
 			e.Retries++
-			e.Clock.Sleep(e.Policy.Backoff(e.Seed, key, attempt))
+			if serr := SleepContext(ctx, e.Clock, e.Policy.Backoff(e.Seed, key, attempt)); serr != nil {
+				return ctxErr(ctx, last)
+			}
 		}
 	}
 	return last
+}
+
+// ctxErr wraps a context error with the last attempt's failure so the
+// caller sees both why the run stopped and what the host was doing.
+func ctxErr(ctx context.Context, last error) error {
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if last != nil {
+		return fmt.Errorf("%w (last error: %v)", err, last)
+	}
+	return err
 }

@@ -17,6 +17,7 @@
 package piileak
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -124,7 +125,13 @@ func NewStudy(cfg Config) (*Study, error) {
 // store. It runs the same fused pipeline as RunStream but keeps the
 // full captures, so the dataset is byte-identical to a batch crawl.
 func (s *Study) Run() error {
-	return s.RunStream(pipeline.Options{
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run under a cancellable context: cancellation stops the
+// crawl between sites (see pipeline.Run) and surfaces ctx's error.
+func (s *Study) RunContext(ctx context.Context) error {
+	return s.RunStreamContext(ctx, pipeline.Options{
 		DetectWorkers: s.Config.Workers,
 		KeepRecords:   true,
 	})
@@ -139,10 +146,15 @@ func (s *Study) Run() error {
 // analysis and every table are byte-identical to Run's regardless of
 // worker counts or completion order.
 func (s *Study) RunStream(opts pipeline.Options) error {
+	return s.RunStreamContext(context.Background(), opts)
+}
+
+// RunStreamContext is RunStream under a cancellable context.
+func (s *Study) RunStreamContext(ctx context.Context, opts pipeline.Options) error {
 	if opts.CrawlWorkers == 0 {
 		opts.CrawlWorkers = s.Config.Workers
 	}
-	res, err := pipeline.Run(s.Eco, s.Config.Browser, s.Detector, opts)
+	res, err := pipeline.Run(ctx, s.Eco, s.Config.Browser, s.Detector, opts)
 	if err != nil {
 		return err
 	}

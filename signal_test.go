@@ -1,0 +1,100 @@
+package piileak_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPiicrawlSIGINTLeavesResumableCheckpoint drives the crash-only
+// shutdown contract end to end on the built binary: a checkpointing
+// crawl interrupted by SIGINT exits 0 with a valid checkpoint, and a
+// -resume run completes it to a dataset byte-identical to a run that
+// was never interrupted.
+func TestPiicrawlSIGINTLeavesResumableCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal delivery")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "piicrawl")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/piicrawl").CombinedOutput(); err != nil {
+		t.Fatalf("building piicrawl: %v\n%s", err, out)
+	}
+
+	ref := filepath.Join(dir, "ref.json")
+	if out, err := exec.Command(bin, "-o", ref).CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: wait for the checkpoint to accumulate a few
+	// sites, then SIGINT. The contract is exit 0 — progress is on disk.
+	ckpt := filepath.Join(dir, "ckpt.jsonl")
+	interruptedOut := filepath.Join(dir, "interrupted.json")
+	cmd := exec.Command(bin, "-checkpoint", ckpt, "-o", interruptedOut)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	signalled := false
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		if data, err := os.ReadFile(ckpt); err == nil && bytes.Count(data, []byte("\n")) >= 6 {
+			if err := cmd.Process.Signal(os.Interrupt); err != nil {
+				t.Fatal(err)
+			}
+			signalled = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !signalled {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("checkpoint never grew; cannot interrupt")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("interrupted piicrawl exited non-zero: %v\n%s", err, stderr.String())
+	}
+
+	// The crawl may have finished in the window between the checkpoint
+	// read and the signal; the resume assertions below still hold (a
+	// complete checkpoint resumes to the same dataset), the interruption
+	// messages just never printed.
+	if _, err := os.Stat(interruptedOut); err == nil {
+		t.Log("crawl completed before the signal landed; exercising resume over the full checkpoint")
+	} else {
+		if !strings.Contains(stderr.String(), "interrupted") || !strings.Contains(stderr.String(), "-resume") {
+			t.Errorf("interrupted run's stderr missing the resume hint:\n%s", stderr.String())
+		}
+	}
+
+	resumedOut := filepath.Join(dir, "resumed.json")
+	rcmd := exec.Command(bin, "-checkpoint", ckpt, "-resume", "-o", resumedOut)
+	var rstderr bytes.Buffer
+	rcmd.Stderr = &rstderr
+	if err := rcmd.Run(); err != nil {
+		t.Fatalf("resume run failed: %v\n%s", err, rstderr.String())
+	}
+	if !strings.Contains(rstderr.String(), "resume:") {
+		t.Errorf("resume run did not report the loaded checkpoint:\n%s", rstderr.String())
+	}
+	got, err := os.ReadFile(resumedOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("resumed dataset is not byte-identical to the uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+}

@@ -2,6 +2,7 @@ package piileak
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -56,7 +57,7 @@ func TestStreamModesByteIdentical(t *testing.T) {
 	resumed := newStudy()
 	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
 	half := resumed.Eco.Sites[:len(resumed.Eco.Sites)/2]
-	if _, err := crawler.CrawlOpts(resumed.Eco, resumed.Config.Browser, crawler.Options{
+	if _, err := crawler.CrawlOpts(context.Background(), resumed.Eco, resumed.Config.Browser, crawler.Options{
 		Sites: half, CheckpointPath: ckpt,
 	}); err != nil {
 		t.Fatal(err)
