@@ -1,0 +1,233 @@
+package piileak
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"piileak/internal/crawler"
+	"piileak/internal/faultsim"
+	"piileak/internal/obs"
+	"piileak/internal/pipeline"
+	"piileak/internal/resilience"
+)
+
+// TestRunOptionDefaults pins every RunOption's default against the
+// study configuration: the option set a bare Run(ctx) executes under
+// must be exactly the batch-compatible settings DefaultConfig
+// describes, and each option must move exactly its own knob.
+func TestRunOptionDefaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 3
+	s := &Study{Config: cfg}
+
+	o := obs.NewRun(nil)
+	q, err := crawler.NewQuarantine(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultsim.New(faultsim.Config{Seed: 5, Rate: 0.5})
+	pol := resilience.Policy{MaxAttempts: 7}
+
+	for _, tc := range []struct {
+		name       string
+		opt        RunOption
+		def, after any
+		get        func(runConfig) any
+	}{
+		{"WithStream", WithStream(), false, true,
+			func(rc runConfig) any { return rc.stream }},
+		{"WithWorkers/crawl", WithWorkers(5, 6), cfg.Workers, 5,
+			func(rc runConfig) any { return rc.opts.Workers }},
+		{"WithWorkers/detect", WithWorkers(5, 6), cfg.Workers, 6,
+			func(rc runConfig) any { return rc.opts.DetectWorkers }},
+		{"WithBuffer", WithBuffer(4), 0, 4,
+			func(rc runConfig) any { return rc.opts.Buffer }},
+		{"WithCheckpoint", WithCheckpoint("ck.jsonl"), "", "ck.jsonl",
+			func(rc runConfig) any { return rc.opts.CheckpointPath }},
+		{"WithResume", WithResume(nil), false, true,
+			func(rc runConfig) any { return rc.opts.Resume }},
+		{"WithObserver", WithObserver(o), (*obs.Run)(nil), o,
+			func(rc runConfig) any { return rc.opts.Obs }},
+		{"WithSiteTimeout", WithSiteTimeout(time.Minute), time.Duration(0), time.Minute,
+			func(rc runConfig) any { return rc.opts.SiteTimeout }},
+		{"WithQuarantine", WithQuarantine(q), (*crawler.Quarantine)(nil), q,
+			func(rc runConfig) any { return rc.opts.Quarantine }},
+		{"WithSites", WithSites(nil), 0, 0,
+			func(rc runConfig) any { return len(rc.opts.Sites) }},
+		{"WithFaults", WithFaults(inj), (*faultsim.Injector)(nil), inj,
+			func(rc runConfig) any { return rc.opts.Faults }},
+		{"WithRetryPolicy", WithRetryPolicy(pol), resilience.Policy{}, pol,
+			func(rc runConfig) any { return rc.opts.Policy }},
+		{"WithProgress", WithProgress(func(Event) {}), false, true,
+			func(rc runConfig) any { return rc.opts.Progress != nil }},
+	} {
+		rc := s.defaultRunConfig()
+		if got := tc.get(rc); got != tc.def {
+			t.Errorf("%s: default = %v, want %v", tc.name, got, tc.def)
+		}
+		tc.opt(&rc)
+		if got := tc.get(rc); got != tc.after {
+			t.Errorf("%s: after option = %v, want %v", tc.name, got, tc.after)
+		}
+	}
+
+	// The remaining defaults a bare Run(ctx) executes under.
+	rc := s.defaultRunConfig()
+	if rc.stream {
+		t.Error("default run is streamed, want batch")
+	}
+	if rc.opts.OnResume != nil || rc.opts.Resume {
+		t.Error("default run resumes")
+	}
+	if rc.opts.Obs != nil {
+		t.Error("default run carries an observer")
+	}
+}
+
+// TestDeprecatedWrappersMatchRun pins the compatibility contract of
+// the old entry points: RunContext and RunStream(Context) are thin
+// wrappers over Run(ctx, ...) and must produce byte-identical leak
+// output and identical headline numbers.
+func TestDeprecatedWrappersMatchRun(t *testing.T) {
+	const seed = 41
+	ctx := context.Background()
+
+	run := func(f func(*Study) error) *Study {
+		t.Helper()
+		s, err := NewStudy(SmallConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f(s); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	newBatch := run(func(s *Study) error { return s.Run(ctx) })
+	oldBatch := run(func(s *Study) error { return s.RunContext(ctx) })
+	newStream := run(func(s *Study) error { return s.Run(ctx, WithStream(), WithWorkers(3, 2)) })
+	oldStream := run(func(s *Study) error {
+		return s.RunStream(pipeline.Options{Options: crawler.Options{Workers: 3}, DetectWorkers: 2})
+	})
+	oldStreamCtx := run(func(s *Study) error {
+		return s.RunStreamContext(ctx, pipeline.Options{Options: crawler.Options{Workers: 3}, DetectWorkers: 2})
+	})
+
+	want := leaksJSON(t, newBatch)
+	for name, s := range map[string]*Study{
+		"RunContext":       oldBatch,
+		"RunStream":        oldStream,
+		"RunStreamContext": oldStreamCtx,
+		"Run+WithStream":   newStream,
+	} {
+		if got := leaksJSON(t, s); !bytes.Equal(want, got) {
+			t.Errorf("%s: leak JSON diverges from Run(ctx) (%d vs %d bytes)", name, len(got), len(want))
+		}
+		if got, want := s.Analysis.Headline(), newBatch.Analysis.Headline(); got != want {
+			t.Errorf("%s: headline diverges:\n%+v\n%+v", name, got, want)
+		}
+	}
+	if newStream.Streamed != oldStream.Streamed {
+		t.Error("streamed flag diverges between old and new stream entry points")
+	}
+}
+
+// TestTelemetryIsSideChannel pins the observability layer's core
+// guarantee from two directions: attaching an observer never moves an
+// output byte (fault-free and under fault injection), and two
+// identically-seeded observed runs export byte-identical metrics and
+// trace files.
+func TestTelemetryIsSideChannel(t *testing.T) {
+	ctx := context.Background()
+	for _, faulty := range []bool{false, true} {
+		name := "fault-free"
+		if faulty {
+			name = "faulty"
+		}
+		t.Run(name, func(t *testing.T) {
+			newStudy := func() *Study {
+				cfg := SmallConfig(23)
+				if faulty {
+					cfg.Ecosystem.Faults = &faultsim.Config{Seed: 23, Rate: 0.3}
+				}
+				s, err := NewStudy(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+
+			plain := newStudy()
+			if err := plain.Run(ctx); err != nil {
+				t.Fatal(err)
+			}
+			o1, o2 := obs.NewRun(nil), obs.NewRun(nil)
+			obs1 := newStudy()
+			if err := obs1.Run(ctx, WithObserver(o1), WithWorkers(3, 2)); err != nil {
+				t.Fatal(err)
+			}
+			obs2 := newStudy()
+			if err := obs2.Run(ctx, WithObserver(o2), WithWorkers(3, 2)); err != nil {
+				t.Fatal(err)
+			}
+
+			want := leaksJSON(t, plain)
+			for name, s := range map[string]*Study{"observed-1": obs1, "observed-2": obs2} {
+				if got := leaksJSON(t, s); !bytes.Equal(want, got) {
+					t.Errorf("%s: observer moved the leak bytes (%d vs %d)", name, len(got), len(want))
+				}
+			}
+
+			var m1, m2, t1, t2 bytes.Buffer
+			if err := o1.WriteMetrics(&m1); err != nil {
+				t.Fatal(err)
+			}
+			if err := o2.WriteMetrics(&m2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(m1.Bytes(), m2.Bytes()) {
+				t.Error("identically-seeded runs exported different metrics bytes")
+			}
+			if err := o1.WriteTrace(&t1); err != nil {
+				t.Fatal(err)
+			}
+			if err := o2.WriteTrace(&t2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+				t.Error("identically-seeded runs exported different trace bytes")
+			}
+
+			// The manifest's pipeline fold must agree with the study's own
+			// counters — telemetry mirrors the run, it does not invent one.
+			man := o1.Manifest()
+			if man.Pipeline.Leaks != int64(len(obs1.Leaks)) {
+				t.Errorf("manifest leaks = %d, study detected %d", man.Pipeline.Leaks, len(obs1.Leaks))
+			}
+			if man.Pipeline.CrawledSites != int64(len(obs1.Eco.Sites)) {
+				t.Errorf("manifest crawled sites = %d, ecosystem has %d", man.Pipeline.CrawledSites, len(obs1.Eco.Sites))
+			}
+			if man.Run.EcoSeed != 23 || man.Run.Streamed {
+				t.Errorf("manifest run info = %+v, want seed 23, batch", man.Run)
+			}
+			if faulty {
+				if man.Run.FaultSeed != 23 {
+					t.Errorf("manifest fault seed = %d, want 23", man.Run.FaultSeed)
+				}
+				total := int64(0)
+				for _, n := range man.Faults {
+					total += n
+				}
+				if total == 0 {
+					t.Error("faulty run injected no faults into the manifest")
+				}
+				if man.Resilience.Attempts == 0 {
+					t.Error("faulty run recorded no fetch attempts")
+				}
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"piileak/internal/browser"
 	"piileak/internal/core"
 	"piileak/internal/crawler"
+	"piileak/internal/obs"
 	"piileak/internal/pii"
 	"piileak/internal/pipeline"
 	"piileak/internal/policy"
@@ -279,7 +280,7 @@ func BenchmarkPipeline(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				var err error
 				res, err = pipeline.Run(context.Background(), eco, profile, det, pipeline.Options{
-					CrawlWorkers: w, DetectWorkers: w,
+					Options: crawler.Options{Workers: w}, DetectWorkers: w,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -287,6 +288,38 @@ func BenchmarkPipeline(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(res.Leaks)), "leaks")
 			b.ReportMetric(float64(res.Stats.CaptureHighWater), "capture_high_water")
+		})
+	}
+}
+
+// BenchmarkObsOverhead measures the observability layer's cost on the
+// paper-scale fused pipeline: the nil-observer run (every instrument
+// call is a nil-receiver early return — the default every study pays)
+// against the same run with a live observer collecting counters,
+// histograms and per-site spans. The nil arm is the one the ≤2%
+// overhead budget applies to.
+func BenchmarkObsOverhead(b *testing.B) {
+	s := study(b)
+	eco, profile, det := s.Eco, s.Config.Browser, s.Detector
+	for _, tc := range []struct {
+		name string
+		obs  func() *obs.Run
+	}{
+		{"off", func() *obs.Run { return nil }},
+		{"on", func() *obs.Run { return obs.NewRun(nil) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var res *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = pipeline.Run(context.Background(), eco, profile, det, pipeline.Options{
+					Options: crawler.Options{Workers: 4, Obs: tc.obs()}, DetectWorkers: 4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(res.Leaks)), "leaks")
 		})
 	}
 }
@@ -333,7 +366,7 @@ func BenchmarkFullStudy(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := s.Run(); err != nil {
+		if err := s.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +35,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := study.Run(); err != nil {
+	if err := study.Run(context.Background()); err != nil {
 		fatal(err)
 	}
 

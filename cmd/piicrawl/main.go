@@ -9,6 +9,7 @@
 //	         [-faults RATE] [-fault-seed N] [-retries N]
 //	         [-site-timeout D] [-quarantine dir]
 //	         [-checkpoint file] [-resume]
+//	         [-metrics out.json] [-trace out.jsonl] [-pprof addr]
 //
 // -faults opts the substrate into deterministic fault injection (a
 // fraction RATE of hosts become flaky, degrading or dead) and the crawl
@@ -22,6 +23,14 @@
 // that collects diagnostics bundles for sites whose crawl or detection
 // panicked; the study continues without them and -only re-runs them
 // individually.
+//
+// -metrics and -trace attach the deterministic observer: the former
+// writes the run's counter registry and manifest as JSON, the latter
+// the per-site stage spans as JSONL. Telemetry is a side channel — the
+// dataset and leak output are byte-identical with it on or off, and two
+// identically-seeded runs write identical telemetry. -pprof serves
+// net/http/pprof for live profiling (wall-clock, inherently
+// nondeterministic — diagnostics only).
 //
 // Shutdown is crash-only: the first SIGINT/SIGTERM cancels the run —
 // the site in flight is dropped, finished sites stay checkpointed, and
@@ -44,128 +53,81 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
-	"sort"
-	"strings"
-	"syscall"
-	"time"
 
-	"piileak/internal/browser"
-	"piileak/internal/core"
+	"piileak"
+	"piileak/internal/cliflags"
 	"piileak/internal/crawler"
-	"piileak/internal/dnssim"
-	"piileak/internal/faultsim"
-	"piileak/internal/pii"
-	"piileak/internal/pipeline"
-	"piileak/internal/resilience"
-	"piileak/internal/site"
 	"piileak/internal/webgen"
 )
 
+const prog = "piicrawl"
+
 func main() {
-	seed := flag.Uint64("seed", 2021, "ecosystem seed")
-	small := flag.Bool("small", false, "use the scaled-down ecosystem")
-	browserName := flag.String("browser", "firefox", "collection browser: firefox, chrome, opera, safari, firefox-etp, brave")
-	out := flag.String("o", "", "output dataset path (default stdout)")
+	common := cliflags.Register(flag.CommandLine)
+	out := flag.String("o", "", "output path (default stdout): the dataset, or with -stream the leak list")
 	funnel := flag.Bool("funnel", false, "print the §3.2 funnel summary to stderr")
-	workers := flag.Int("workers", 0, "parallel crawl workers (0 = serial)")
-	faults := flag.Float64("faults", 0, "fraction of hosts made faulty (0 disables fault injection)")
-	faultSeed := flag.Uint64("fault-seed", 0, "fault-injection seed (default: the ecosystem seed)")
-	retries := flag.Int("retries", 0, "max fetch attempts per request under faults (default 4)")
-	siteTimeout := flag.Duration("site-timeout", 0, "per-site watchdog budget on the run's clock (0 disables)")
-	quarantineDir := flag.String("quarantine", "", "directory collecting diagnostics for panicked sites")
-	only := flag.String("only", "", "comma-separated site domains to crawl (e.g. re-running quarantined sites)")
-	checkpoint := flag.String("checkpoint", "", "write per-site progress to this file")
-	resume := flag.Bool("resume", false, "resume a previous run from -checkpoint")
-	stream := flag.Bool("stream", false, "fuse crawl+detect: stream captures through detection, output leaks")
 	flag.Parse()
 
-	cfg := webgen.DefaultConfig()
-	if *small {
-		cfg = webgen.SmallConfig(*seed)
-	}
-	cfg.Seed = *seed
-	if *faults < 0 || *faults > 1 {
-		fatal(fmt.Errorf("-faults %v out of range [0, 1]", *faults))
-	}
-	if *faults > 0 {
-		cfg.Faults = &faultsim.Config{Seed: *faultSeed, Rate: *faults}
-	}
-	if *resume && *checkpoint == "" {
-		fatal(fmt.Errorf("-resume requires -checkpoint"))
-	}
-
-	eco, err := webgen.Generate(cfg)
-	if err != nil {
+	if err := common.Validate(); err != nil {
 		fatal(err)
 	}
-
-	var profile browser.Profile
-	switch *browserName {
-	case "firefox":
-		profile = browser.Firefox88()
-	case "chrome":
-		profile = browser.Chrome93()
-	case "opera":
-		profile = browser.Opera79()
-	case "safari":
-		profile = browser.Safari14()
-	case "firefox-etp":
-		profile = browser.Firefox88ETP(eco.BraveShields)
-	case "brave":
-		profile = browser.Brave129(eco.BraveShields)
-	default:
-		fatal(fmt.Errorf("unknown browser %q", *browserName))
-	}
-
-	var quarantine *crawler.Quarantine
-	if *quarantineDir != "" {
-		quarantine, err = crawler.NewQuarantine(*quarantineDir)
-		if err != nil {
-			fatal(err)
-		}
-	}
-
-	copts := crawler.Options{
-		Policy:         resilience.Policy{MaxAttempts: *retries},
-		SiteTimeout:    *siteTimeout,
-		Quarantine:     quarantine,
-		CheckpointPath: *checkpoint,
-		Resume:         *resume,
-		OnResume: func(rs crawler.ResumeSummary) {
-			fmt.Fprintf(os.Stderr, "piicrawl: resume: %d sites loaded from checkpoint, %d torn records dropped\n",
-				rs.Completed, rs.TornRecords)
-		},
-	}
-	if *only != "" {
-		copts.Sites, err = selectSites(eco, *only)
-		if err != nil {
-			fatal(err)
-		}
+	if err := common.StartPprof(prog); err != nil {
+		fatal(err)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	installSignalHandler(cancel)
+	cliflags.InstallSignalHandler(prog, cancel)
 
-	if *stream {
-		streamRun(ctx, eco, profile, copts, *workers, *out, *checkpoint, *funnel, *faults > 0)
+	if common.Stream {
+		// Only the fused pipeline needs the detection machinery (the
+		// candidate set costs most of the startup); dataset mode below
+		// generates just the ecosystem.
+		study, err := piileak.NewStudy(common.StudyConfig())
+		if err != nil {
+			fatal(err)
+		}
+		profile, err := common.ResolveProfile(study.Eco)
+		if err != nil {
+			fatal(err)
+		}
+		study.Config.Browser = profile
+		rt, err := common.Runtime(study.Eco)
+		if err != nil {
+			fatal(err)
+		}
+		streamRun(ctx, study, common, rt, *out, *funnel)
 		return
 	}
 
-	copts.Workers = *workers
-	ds, err := crawler.CrawlOpts(ctx, eco, profile, copts)
+	eco, err := webgen.Generate(common.EcosystemConfig())
+	if err != nil {
+		fatal(err)
+	}
+	profile, err := common.ResolveProfile(eco)
+	if err != nil {
+		fatal(err)
+	}
+	rt, err := common.Runtime(eco)
+	if err != nil {
+		fatal(err)
+	}
+
+	ds, err := crawler.CrawlOpts(ctx, eco, profile, common.CrawlerOptions(rt, prog))
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			exitInterrupted(*checkpoint)
+			cliflags.ExitInterrupted(prog, common.Checkpoint)
 		}
 		fatal(err)
 	}
 
 	if *funnel {
-		printFunnel(ds, ds.TotalRecords(), -1, *faults > 0)
+		printFunnel(ds, ds.TotalRecords(), -1, common.Faults > 0)
 	}
-	printQuarantine(quarantine)
+	cliflags.PrintQuarantine(prog, rt.Quarantine)
+	if err := common.WriteTelemetry(rt); err != nil {
+		fatal(err)
+	}
 
 	if *out != "" {
 		if err := ds.WriteJSONFile(*out); err != nil {
@@ -176,71 +138,6 @@ func main() {
 	if err := ds.WriteJSON(os.Stdout); err != nil {
 		fatal(err)
 	}
-}
-
-// selectSites resolves a -only domain list against the ecosystem.
-func selectSites(eco *webgen.Ecosystem, only string) ([]*site.Site, error) {
-	want := map[string]bool{}
-	for _, d := range strings.Split(only, ",") {
-		if d = strings.TrimSpace(d); d != "" {
-			want[d] = true
-		}
-	}
-	var sel []*site.Site
-	for _, s := range eco.Sites {
-		if want[s.Domain] {
-			sel = append(sel, s)
-			delete(want, s.Domain)
-		}
-	}
-	if len(want) > 0 {
-		var missing []string
-		for d := range want {
-			missing = append(missing, d)
-		}
-		sort.Strings(missing)
-		return nil, fmt.Errorf("-only: unknown site domains: %s", strings.Join(missing, ", "))
-	}
-	if len(sel) == 0 {
-		return nil, fmt.Errorf("-only: no sites selected")
-	}
-	return sel, nil
-}
-
-// installSignalHandler wires crash-only shutdown: the first
-// SIGINT/SIGTERM cancels the run and bounds the drain on the wall
-// clock; a second signal (or a drain overrun) hard-exits.
-func installSignalHandler(cancel context.CancelFunc) {
-	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sigc
-		fmt.Fprintln(os.Stderr, "piicrawl: interrupted: draining workers and flushing the checkpoint (signal again to hard-exit)")
-		cancel()
-		// Shutdown grace is genuinely wall time — a hung worker must
-		// not turn Ctrl-C into an indefinite hang.
-		grace, stop := context.WithTimeout(context.Background(), 30*time.Second) //lint:allow detrand CLI shutdown grace is wall time by design
-		defer stop()
-		select {
-		case <-sigc:
-			fmt.Fprintln(os.Stderr, "piicrawl: second signal: hard exit")
-		case <-grace.Done():
-			fmt.Fprintln(os.Stderr, "piicrawl: drain exceeded 30s grace: hard exit")
-		}
-		os.Exit(130)
-	}()
-}
-
-// exitInterrupted reports a cancelled run. With a checkpoint the exit is
-// the crash-only success path: progress is on disk and resumable.
-func exitInterrupted(checkpoint string) {
-	if checkpoint != "" {
-		fmt.Fprintf(os.Stderr, "piicrawl: interrupted: checkpoint %s is valid; continue with -resume -checkpoint %s\n",
-			checkpoint, checkpoint)
-		os.Exit(0)
-	}
-	fmt.Fprintln(os.Stderr, "piicrawl: interrupted: no checkpoint, progress lost (use -checkpoint for resumable runs)")
-	os.Exit(1)
 }
 
 // printFunnel writes the §3.2 funnel summary. captureHighWater < 0
@@ -271,53 +168,25 @@ func printFunnel(ds *crawler.Dataset, totalRecords, captureHighWater int, faulty
 	}
 }
 
-// printQuarantine lists quarantined sites; the study still succeeded,
-// so this is a report, not an error.
-func printQuarantine(q *crawler.Quarantine) {
-	if q.Len() == 0 {
-		return
-	}
-	fmt.Fprintf(os.Stderr, "piicrawl: %d site(s) quarantined (see %s): %s\n",
-		q.Len(), q.ManifestPath(), strings.Join(q.Sites(), ", "))
-	fmt.Fprintf(os.Stderr, "piicrawl: re-run them individually with -only %s\n", strings.Join(q.Sites(), ","))
-}
-
-// streamRun executes the fused crawl+detect pipeline and writes the
-// detected leaks (indented JSON, same shape as Study.WriteLeaksJSON).
-func streamRun(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, copts crawler.Options, workers int, out, checkpoint string, funnel, faulty bool) {
-	cs, err := pii.BuildCandidates(eco.Persona, pii.CandidateConfig{MaxDepth: 2})
-	if err != nil {
-		fatal(err)
-	}
-	det := core.NewDetector(cs, dnssim.NewClassifier(eco.Zone))
-
-	crawled := 0
-	res, err := pipeline.Run(ctx, eco, profile, det, pipeline.Options{
-		CrawlWorkers:  workers,
-		DetectWorkers: workers,
-		Crawl:         copts,
-		Progress: func(ev pipeline.Event) {
-			if ev.Stage == "crawl" {
-				crawled = ev.Done
-				return
-			}
-			if ev.Done%25 == 0 || ev.Done == ev.Total {
-				fmt.Fprintf(os.Stderr, "piicrawl: crawl %d/%d  detect %d/%d  leaks %d\n",
-					crawled, ev.Total, ev.Done, ev.Total, ev.Leaks)
-			}
-		},
-	})
-	if err != nil {
+// streamRun executes the fused crawl+detect pipeline through the
+// study's Run API and writes the detected leaks (indented JSON, same
+// shape as Study.WriteLeaksJSON).
+func streamRun(ctx context.Context, study *piileak.Study, common *cliflags.Common, rt *cliflags.Runtime, out string, funnel bool) {
+	opts := common.RunOptions(rt, prog, cliflags.ProgressPrinter(prog, os.Stderr))
+	if err := study.Run(ctx, opts...); err != nil {
 		if errors.Is(err, context.Canceled) {
-			exitInterrupted(checkpoint)
+			cliflags.ExitInterrupted(prog, common.Checkpoint)
 		}
 		fatal(err)
 	}
 
 	if funnel {
-		printFunnel(res.Dataset, res.TotalRecords, res.Stats.CaptureHighWater, faulty)
+		printFunnel(study.Dataset, study.TotalRecords(), study.Result.Stats.CaptureHighWater, common.Faults > 0)
 	}
-	printQuarantine(copts.Quarantine)
+	cliflags.PrintQuarantine(prog, rt.Quarantine)
+	if err := common.WriteTelemetry(rt); err != nil {
+		fatal(err)
+	}
 
 	var w io.Writer = os.Stdout
 	if out != "" {
@@ -334,12 +203,12 @@ func streamRun(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profi
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	if err := enc.Encode(res.Leaks); err != nil {
+	if err := enc.Encode(study.Leaks); err != nil {
 		fatal(err)
 	}
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "piicrawl:", err)
+	fmt.Fprintln(os.Stderr, prog+":", err)
 	os.Exit(1)
 }

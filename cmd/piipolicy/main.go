@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,7 +46,7 @@ func main() {
 		fatal(fmt.Errorf("site %q not in the ecosystem", *dump))
 	}
 
-	if err := study.Run(); err != nil {
+	if err := study.Run(context.Background()); err != nil {
 		fatal(err)
 	}
 	tbl, err := study.PolicyAudit()

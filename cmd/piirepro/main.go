@@ -6,6 +6,18 @@
 // Usage:
 //
 //	piirepro [-seed N] [-small] [-experiments E1,E6,E10] [-stream] [-workers N]
+//	         [-browser NAME] [-faults RATE] [-fault-seed N] [-retries N]
+//	         [-site-timeout D] [-quarantine dir] [-only domains]
+//	         [-checkpoint file] [-resume]
+//	         [-metrics out.json] [-trace out.jsonl] [-pprof addr]
+//
+// piirepro shares piicrawl's full flag surface (internal/cliflags): the
+// crash-only runtime's knobs (-site-timeout, -quarantine, -checkpoint,
+// -resume, -only), deterministic fault injection (-faults), alternate
+// collection browsers (-browser), and the telemetry outputs. -metrics
+// and -trace attach the deterministic observer — the tables are
+// byte-identical with telemetry on or off, and two identically-seeded
+// runs write identical telemetry files.
 //
 // -stream runs the fused crawl+detect pipeline: captures are released
 // after detection (peak memory stays bounded), every table is identical
@@ -19,61 +31,59 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
-	"time"
 
 	"piileak"
-	"piileak/internal/pipeline"
+	"piileak/internal/cliflags"
 )
 
+const prog = "piirepro"
+
 func main() {
-	seed := flag.Uint64("seed", 2021, "ecosystem seed")
-	small := flag.Bool("small", false, "use the scaled-down ecosystem")
+	common := cliflags.Register(flag.CommandLine)
 	only := flag.String("experiments", "", "comma-separated experiment IDs (default: all)")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable summary instead of text reports")
-	stream := flag.Bool("stream", false, "fuse crawl+detect and release captures after detection")
-	workers := flag.Int("workers", 0, "parallel crawl/detect workers (0 = serial)")
 	flag.Parse()
 
-	cfg := piileak.DefaultConfig()
-	if *small {
-		cfg = piileak.SmallConfig(*seed)
+	if err := common.Validate(); err != nil {
+		fatal(err)
 	}
-	cfg.Ecosystem.Seed = *seed
-	cfg.Workers = *workers
+	if err := common.StartPprof(prog); err != nil {
+		fatal(err)
+	}
 
-	study, err := piileak.NewStudy(cfg)
+	study, err := piileak.NewStudy(common.StudyConfig())
+	if err != nil {
+		fatal(err)
+	}
+	profile, err := common.ResolveProfile(study.Eco)
+	if err != nil {
+		fatal(err)
+	}
+	study.Config.Browser = profile
+	rt, err := common.Runtime(study.Eco)
 	if err != nil {
 		fatal(err)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	installSignalHandler(cancel)
+	cliflags.InstallSignalHandler(prog, cancel)
 
 	fmt.Fprintf(os.Stderr, "piirepro: crawling %d candidate sites with %s...\n",
-		len(study.Eco.Sites), cfg.Browser.Name)
-	if *stream {
-		crawled := 0
-		err = study.RunStreamContext(ctx, pipeline.Options{
-			Progress: func(ev pipeline.Event) {
-				if ev.Stage == "crawl" {
-					crawled = ev.Done
-					return
-				}
-				if ev.Done%25 == 0 || ev.Done == ev.Total {
-					fmt.Fprintf(os.Stderr, "piirepro: crawl %d/%d  detect %d/%d  leaks %d\n",
-						crawled, ev.Total, ev.Done, ev.Total, ev.Leaks)
-				}
-			},
-		})
-	} else {
-		err = study.RunContext(ctx)
+		len(study.Eco.Sites), profile.Name)
+	var progress func(piileak.Event)
+	if common.Stream {
+		progress = cliflags.ProgressPrinter(prog, os.Stderr)
 	}
+	err = study.Run(ctx, common.RunOptions(rt, prog, progress)...)
 	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "piirepro: interrupted: crawl cancelled before completion; nothing written")
+		if common.Checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "piirepro: interrupted: checkpoint %s is valid; continue with -resume -checkpoint %s\n",
+				common.Checkpoint, common.Checkpoint)
+		} else {
+			fmt.Fprintln(os.Stderr, "piirepro: interrupted: crawl cancelled before completion; nothing written")
+		}
 		os.Exit(130)
 	}
 	if err != nil {
@@ -81,6 +91,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "piirepro: %d records captured, %d leaks detected\n",
 		study.TotalRecords(), len(study.Leaks))
+	cliflags.PrintQuarantine(prog, rt.Quarantine)
+	if err := common.WriteTelemetry(rt); err != nil {
+		fatal(err)
+	}
 
 	if *jsonOut {
 		if err := study.WriteSummaryJSON(os.Stdout); err != nil {
@@ -101,7 +115,7 @@ func main() {
 		if len(wanted) > 0 && !wanted[e.ID] {
 			continue
 		}
-		if *stream && e.NeedsCaptures && !wanted[e.ID] {
+		if common.Stream && e.NeedsCaptures && !wanted[e.ID] {
 			fmt.Printf("==== %s — %s ====\n\nSKIPPED: rescans raw captures, which the streamed run released\n\n", e.ID, e.Title)
 			continue
 		}
@@ -119,31 +133,7 @@ func main() {
 	}
 }
 
-// installSignalHandler wires crash-only shutdown: the first
-// SIGINT/SIGTERM cancels the run (workers drain, the site in flight is
-// dropped); a second signal or an overrun drain hard-exits.
-func installSignalHandler(cancel context.CancelFunc) {
-	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sigc
-		fmt.Fprintln(os.Stderr, "piirepro: interrupted: draining workers (signal again to hard-exit)")
-		cancel()
-		// Shutdown grace is genuinely wall time — a hung worker must
-		// not turn Ctrl-C into an indefinite hang.
-		grace, stop := context.WithTimeout(context.Background(), 30*time.Second) //lint:allow detrand CLI shutdown grace is wall time by design
-		defer stop()
-		select {
-		case <-sigc:
-			fmt.Fprintln(os.Stderr, "piirepro: second signal: hard exit")
-		case <-grace.Done():
-			fmt.Fprintln(os.Stderr, "piirepro: drain exceeded 30s grace: hard exit")
-		}
-		os.Exit(130)
-	}()
-}
-
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "piirepro:", err)
+	fmt.Fprintln(os.Stderr, prog+":", err)
 	os.Exit(1)
 }

@@ -1,6 +1,7 @@
 package piileak_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,7 +15,7 @@ func ExampleNewStudy() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := study.Run(); err != nil {
+	if err := study.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	h := study.Analysis.Headline()
@@ -32,7 +33,7 @@ func ExampleStudy_Tracking() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := study.Run(); err != nil {
+	if err := study.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	cls, err := study.Tracking()

@@ -5,6 +5,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -18,7 +19,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := study.Run(); err != nil {
+	if err := study.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := study.Run(); err != nil {
+	if err := study.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 

@@ -1,0 +1,91 @@
+// Package obskey keeps the telemetry registry's key space closed: every
+// metric or span name passed to an obs.Run instrument must be a
+// compile-time constant. A name computed at runtime (concatenation,
+// Sprintf, a variable) can differ between runs or smuggle per-site data
+// into the registry's key set — which would make the exported metrics
+// file's shape input-dependent and break the two-identical-runs →
+// byte-identical-telemetry guarantee. Dynamic *dimensions* stay
+// expressible through the instruments' kind/site arguments, which the
+// exporter sorts; only the name itself is pinned.
+package obskey
+
+import (
+	"go/ast"
+	"go/types"
+
+	"piileak/internal/analysis"
+)
+
+// Analyzer is the obskey pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "obskey",
+	Doc: "flags obs.Run instrument calls (Count, CountKind, GaugeSet, " +
+		"GaugeMax, Observe, StartSpan) whose metric or stage name is not a " +
+		"compile-time constant; dynamic names make the telemetry key space " +
+		"input-dependent",
+	Run: run,
+}
+
+// obsPkg is the import path whose Run methods form the instrument API.
+const obsPkg = "piileak/internal/obs"
+
+// instruments maps each checked method to the human name of its first
+// argument.
+var instruments = map[string]string{
+	"Count":     "metric name",
+	"CountKind": "metric name",
+	"GaugeSet":  "metric name",
+	"GaugeMax":  "metric name",
+	"Observe":   "metric name",
+	"StartSpan": "stage",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkg {
+		return
+	}
+	arg, ok := instruments[fn.Name()]
+	if !ok || !isRunMethod(fn) || len(call.Args) == 0 {
+		return
+	}
+	// A constant expression — an obs.Metric* / obs.Stage* constant, a
+	// literal, or any constant-folded combination — has a Value in the
+	// type checker's record. Anything without one is computed at runtime.
+	if tv, found := pass.TypesInfo.Types[call.Args[0]]; found && tv.Value != nil {
+		return
+	}
+	pass.Reportf(call.Args[0].Pos(),
+		"obs.Run.%s %s is not a compile-time constant: dynamic registry keys make the "+
+			"exported metrics' shape input-dependent; use an obs.Metric*/Stage* constant "+
+			"and put the dynamic part in the kind or site argument",
+		fn.Name(), arg)
+}
+
+// isRunMethod reports whether fn is a method on obs.Run (or *obs.Run).
+func isRunMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Run"
+}

@@ -1,0 +1,12 @@
+package obskey_test
+
+import (
+	"testing"
+
+	"piileak/internal/analysis/analysistest"
+	"piileak/internal/analysis/obskey"
+)
+
+func TestRegistryKeys(t *testing.T) {
+	analysistest.Run(t, ".", obskey.Analyzer, "a")
+}

@@ -9,6 +9,7 @@ import (
 	"piileak/internal/analysis/closecheck"
 	"piileak/internal/analysis/detrand"
 	"piileak/internal/analysis/maporder"
+	"piileak/internal/analysis/obskey"
 	"piileak/internal/analysis/piilog"
 )
 
@@ -18,6 +19,7 @@ func Analyzers() []*analysis.Analyzer {
 		closecheck.Analyzer,
 		detrand.Analyzer,
 		maporder.Analyzer,
+		obskey.Analyzer,
 		piilog.Analyzer,
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"piileak/internal/dnssim"
 	"piileak/internal/httpmodel"
+	"piileak/internal/obs"
 	"piileak/internal/pii"
 	"piileak/internal/psl"
 	"piileak/internal/site"
@@ -104,6 +105,10 @@ type Browser struct {
 	// Transport, when non-nil, gates every request on a (possibly
 	// faulty) network path.
 	Transport Transport
+
+	// Obs, when non-nil, counts issued/blocked/failed requests. Like
+	// Ctx, Reset does not clear it — the observer outlives sessions.
+	Obs *obs.Run
 
 	// Records is the captured traffic, in request order.
 	Records []httpmodel.Record
@@ -210,6 +215,7 @@ func (b *Browser) Do(req httpmodel.Request, page string, phase httpmodel.Phase, 
 	host := req.Host()
 	if receiver, ok := b.allowed(host); !ok {
 		b.Blocked[receiver]++
+		b.Obs.Count(obs.MetricBrowserBlocked, 1)
 		return false
 	}
 	if b.Ctx != nil && b.Ctx.Err() != nil {
@@ -217,11 +223,13 @@ func (b *Browser) Do(req httpmodel.Request, page string, phase httpmodel.Phase, 
 		// It counts as a failed fetch, but the crawl engine discards
 		// the in-flight site's entry anyway.
 		b.FailedFetches++
+		b.Obs.Count(obs.MetricFetchFailures, 1)
 		return false
 	}
 	if b.Transport != nil {
 		if err := b.Transport.Fetch(host); err != nil {
 			b.FailedFetches++
+			b.Obs.Count(obs.MetricFetchFailures, 1)
 			return false
 		}
 	}
@@ -244,6 +252,7 @@ func (b *Browser) Do(req httpmodel.Request, page string, phase httpmodel.Phase, 
 	}
 
 	b.seq++
+	b.Obs.Count(obs.MetricBrowserRequests, 1)
 	b.Records = append(b.Records, httpmodel.Record{
 		Seq:      b.seq,
 		Page:     page,

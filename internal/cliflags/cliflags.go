@@ -1,0 +1,405 @@
+// Package cliflags is the flag surface the piileak CLIs share: one
+// Common struct registers the study-shaping flags (seed, browser,
+// fault injection, the crash-only runtime's knobs) and the telemetry
+// outputs (-metrics, -trace, -pprof), and turns them into a validated
+// piileak.Config, a resolved browser profile, and the RunOption list a
+// Study.Run call consumes. Extracting it means every CLI gets the full
+// flag set — piirepro gained -site-timeout, -quarantine, -only and the
+// rest the day it switched over — and the flags behave identically
+// everywhere.
+package cliflags
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the default mux's profile endpoints
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"piileak"
+	"piileak/internal/browser"
+	"piileak/internal/crawler"
+	"piileak/internal/faultsim"
+	"piileak/internal/obs"
+	"piileak/internal/pipeline"
+	"piileak/internal/resilience"
+	"piileak/internal/site"
+	"piileak/internal/webgen"
+)
+
+// Common is the flag set shared by the piileak CLIs. Register binds
+// every field to its flag; the zero value of each field is the flag's
+// default.
+type Common struct {
+	// Seed is the ecosystem seed; Small selects the scaled-down web.
+	Seed  uint64
+	Small bool
+	// Browser names the collection profile (see ResolveProfile).
+	Browser string
+	// Workers parallelizes the crawl (and, streamed, detection); 0 is
+	// serial.
+	Workers int
+	// Stream fuses crawl+detect and releases captures after detection.
+	Stream bool
+
+	// Faults is the fraction of hosts made faulty (0 disables
+	// injection); FaultSeed overrides the injection seed (default: the
+	// ecosystem seed); Retries caps fetch attempts under faults.
+	Faults    float64
+	FaultSeed uint64
+	Retries   int
+
+	// SiteTimeout is the per-site watchdog budget on the run's clock;
+	// QuarantineDir collects diagnostics bundles for panicked sites;
+	// Only restricts the run to a comma-separated site subset.
+	SiteTimeout   time.Duration
+	QuarantineDir string
+	Only          string
+
+	// Checkpoint persists per-site progress; Resume continues a killed
+	// run from that file.
+	Checkpoint string
+	Resume     bool
+
+	// Metrics and Trace name telemetry output files (deterministic
+	// metrics JSON, stage-trace JSONL). Setting either attaches an
+	// observer to the run. Pprof, when non-empty, serves
+	// net/http/pprof on that address for the process's lifetime.
+	Metrics string
+	Trace   string
+	Pprof   string
+}
+
+// Register binds the shared flags on fs and returns the struct their
+// values land in. Call before fs.Parse.
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.Uint64Var(&c.Seed, "seed", 2021, "ecosystem seed")
+	fs.BoolVar(&c.Small, "small", false, "use the scaled-down ecosystem")
+	fs.StringVar(&c.Browser, "browser", "firefox", "collection browser: firefox, chrome, opera, safari, firefox-etp, brave")
+	fs.IntVar(&c.Workers, "workers", 0, "parallel crawl workers (0 = serial)")
+	fs.BoolVar(&c.Stream, "stream", false, "fuse crawl+detect: stream captures through detection, release records after scanning")
+	fs.Float64Var(&c.Faults, "faults", 0, "fraction of hosts made faulty (0 disables fault injection)")
+	fs.Uint64Var(&c.FaultSeed, "fault-seed", 0, "fault-injection seed (default: the ecosystem seed)")
+	fs.IntVar(&c.Retries, "retries", 0, "max fetch attempts per request under faults (default 4)")
+	fs.DurationVar(&c.SiteTimeout, "site-timeout", 0, "per-site watchdog budget on the run's clock (0 disables)")
+	fs.StringVar(&c.QuarantineDir, "quarantine", "", "directory collecting diagnostics for panicked sites")
+	fs.StringVar(&c.Only, "only", "", "comma-separated site domains to crawl (e.g. re-running quarantined sites)")
+	fs.StringVar(&c.Checkpoint, "checkpoint", "", "write per-site progress to this file")
+	fs.BoolVar(&c.Resume, "resume", false, "resume a previous run from -checkpoint")
+	fs.StringVar(&c.Metrics, "metrics", "", "write the run's deterministic metrics + manifest JSON to this file")
+	fs.StringVar(&c.Trace, "trace", "", "write the run's stage-trace JSONL to this file")
+	fs.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return c
+}
+
+// Validate rejects contradictory flag combinations up front, before
+// any ecosystem generation happens.
+func (c *Common) Validate() error {
+	if c.Faults < 0 || c.Faults > 1 {
+		return fmt.Errorf("-faults %v out of range [0, 1]", c.Faults)
+	}
+	if c.Resume && c.Checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	return nil
+}
+
+// StudyConfig builds the study configuration the flags describe. The
+// browser profile is left at the default; resolve it against the
+// generated ecosystem with ResolveProfile (the shielded profiles need
+// the ecosystem's Brave shield list).
+func (c *Common) StudyConfig() piileak.Config {
+	cfg := piileak.DefaultConfig()
+	if c.Small {
+		cfg = piileak.SmallConfig(c.Seed)
+	}
+	cfg.Ecosystem.Seed = c.Seed
+	cfg.Workers = c.Workers
+	if c.Faults > 0 {
+		cfg.Ecosystem.Faults = &faultsim.Config{Seed: c.FaultSeed, Rate: c.Faults}
+	}
+	return cfg
+}
+
+// EcosystemConfig is StudyConfig's webgen slice, for tools that crawl
+// without building a Study.
+func (c *Common) EcosystemConfig() webgen.Config {
+	return c.StudyConfig().Ecosystem
+}
+
+// ResolveProfile maps the -browser name to its profile. The shielded
+// profiles (firefox-etp, brave) are parameterized by the ecosystem's
+// generated shield list, which is why this takes eco rather than
+// running at flag-parse time.
+func (c *Common) ResolveProfile(eco *webgen.Ecosystem) (browser.Profile, error) {
+	switch c.Browser {
+	case "firefox":
+		return browser.Firefox88(), nil
+	case "chrome":
+		return browser.Chrome93(), nil
+	case "opera":
+		return browser.Opera79(), nil
+	case "safari":
+		return browser.Safari14(), nil
+	case "firefox-etp":
+		return browser.Firefox88ETP(eco.BraveShields), nil
+	case "brave":
+		return browser.Brave129(eco.BraveShields), nil
+	default:
+		return browser.Profile{}, fmt.Errorf("unknown browser %q", c.Browser)
+	}
+}
+
+// Runtime is the per-run state the flags materialize: the telemetry
+// observer (when -metrics or -trace asked for one), the quarantine
+// store and the -only site subset.
+type Runtime struct {
+	Observer   *obs.Run
+	Quarantine *crawler.Quarantine
+	Sites      []*site.Site
+}
+
+// Runtime builds the run state against the generated ecosystem.
+func (c *Common) Runtime(eco *webgen.Ecosystem) (*Runtime, error) {
+	rt := &Runtime{}
+	if c.Metrics != "" || c.Trace != "" {
+		rt.Observer = obs.NewRun(nil)
+	}
+	if c.QuarantineDir != "" {
+		q, err := crawler.NewQuarantine(c.QuarantineDir)
+		if err != nil {
+			return nil, err
+		}
+		rt.Quarantine = q
+	}
+	if c.Only != "" {
+		sites, err := SelectSites(eco, c.Only)
+		if err != nil {
+			return nil, err
+		}
+		rt.Sites = sites
+	}
+	return rt, nil
+}
+
+// RunOptions assembles the Study.Run option list the flags describe.
+// progress, when non-nil, receives pipeline events (see
+// ProgressPrinter); prog names the CLI for the resume banner.
+func (c *Common) RunOptions(rt *Runtime, prog string, progress func(pipeline.Event)) []piileak.RunOption {
+	var opts []piileak.RunOption
+	if c.Stream {
+		opts = append(opts, piileak.WithStream())
+	}
+	if c.SiteTimeout > 0 {
+		opts = append(opts, piileak.WithSiteTimeout(c.SiteTimeout))
+	}
+	if c.Retries > 0 {
+		opts = append(opts, piileak.WithRetryPolicy(resilience.Policy{MaxAttempts: c.Retries}))
+	}
+	if rt.Quarantine != nil {
+		opts = append(opts, piileak.WithQuarantine(rt.Quarantine))
+	}
+	if rt.Sites != nil {
+		opts = append(opts, piileak.WithSites(rt.Sites))
+	}
+	if c.Checkpoint != "" {
+		opts = append(opts, piileak.WithCheckpoint(c.Checkpoint))
+	}
+	if c.Resume {
+		opts = append(opts, piileak.WithResume(ResumeBanner(prog, os.Stderr)))
+	}
+	if rt.Observer != nil {
+		opts = append(opts, piileak.WithObserver(rt.Observer))
+	}
+	if progress != nil {
+		opts = append(opts, piileak.WithProgress(progress))
+	}
+	return opts
+}
+
+// CrawlerOptions assembles the raw crawler options for tools that run
+// the crawl stage alone (piicrawl's dataset mode). OnResume is only
+// set when -resume is given — Options.Validate rejects a resume
+// callback on a non-resuming run.
+func (c *Common) CrawlerOptions(rt *Runtime, prog string) crawler.Options {
+	copts := crawler.Options{
+		Workers:        c.Workers,
+		Policy:         resilience.Policy{MaxAttempts: c.Retries},
+		SiteTimeout:    c.SiteTimeout,
+		Quarantine:     rt.Quarantine,
+		Sites:          rt.Sites,
+		CheckpointPath: c.Checkpoint,
+		Resume:         c.Resume,
+		Obs:            rt.Observer,
+	}
+	if c.Resume {
+		copts.OnResume = ResumeBanner(prog, os.Stderr)
+	}
+	return copts
+}
+
+// SelectSites resolves a -only domain list against the ecosystem,
+// preserving ecosystem site order.
+func SelectSites(eco *webgen.Ecosystem, only string) ([]*site.Site, error) {
+	want := map[string]bool{}
+	for _, d := range strings.Split(only, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			want[d] = true
+		}
+	}
+	var sel []*site.Site
+	for _, s := range eco.Sites {
+		if want[s.Domain] {
+			sel = append(sel, s)
+			delete(want, s.Domain)
+		}
+	}
+	if len(want) > 0 {
+		var missing []string
+		for d := range want {
+			missing = append(missing, d)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("-only: unknown site domains: %s", strings.Join(missing, ", "))
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("-only: no sites selected")
+	}
+	return sel, nil
+}
+
+// WriteTelemetry flushes the observer's outputs to the -metrics and
+// -trace files. A nil observer (neither flag given) writes nothing.
+func (c *Common) WriteTelemetry(rt *Runtime) error {
+	if rt == nil || rt.Observer == nil {
+		return nil
+	}
+	if c.Metrics != "" {
+		if err := writeFile(c.Metrics, rt.Observer.WriteMetrics); err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+	}
+	if c.Trace != "" {
+		if err := writeFile(c.Trace, rt.Observer.WriteTrace); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeFile streams one telemetry artifact to path, surfacing the
+// Close error (the write is the point of the file).
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close() //lint:allow closecheck the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
+}
+
+// StartPprof serves net/http/pprof's default-mux endpoints on the
+// -pprof address for the process's lifetime. It binds synchronously —
+// a bad address fails here, not in a goroutine's logs — and never
+// returns on the serving path. No-op when the flag is unset.
+func (c *Common) StartPprof(prog string) error {
+	if c.Pprof == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", c.Pprof)
+	if err != nil {
+		return fmt.Errorf("-pprof: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: pprof on http://%s/debug/pprof/\n", prog, ln.Addr()) //lint:allow piilog a TCP listen address is not persona PII
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: pprof server: %v\n", prog, err)
+		}
+	}()
+	return nil
+}
+
+// ProgressPrinter returns the CLIs' shared progress line: crawl and
+// detect counters plus the cumulative leak count, printed every 25
+// detections and at the end.
+func ProgressPrinter(prog string, w io.Writer) func(pipeline.Event) {
+	crawled := 0
+	return func(ev pipeline.Event) {
+		if ev.Stage == "crawl" {
+			crawled = ev.Done
+			return
+		}
+		if ev.Done%25 == 0 || ev.Done == ev.Total {
+			fmt.Fprintf(w, "%s: crawl %d/%d  detect %d/%d  leaks %d\n",
+				prog, crawled, ev.Total, ev.Done, ev.Total, ev.Leaks)
+		}
+	}
+}
+
+// ResumeBanner returns the resume callback announcing what the
+// checkpoint contributed.
+func ResumeBanner(prog string, w io.Writer) func(crawler.ResumeSummary) {
+	return func(rs crawler.ResumeSummary) {
+		fmt.Fprintf(w, "%s: resume: %d sites loaded from checkpoint, %d torn records dropped\n",
+			prog, rs.Completed, rs.TornRecords)
+	}
+}
+
+// InstallSignalHandler wires crash-only shutdown: the first
+// SIGINT/SIGTERM cancels the run and bounds the drain on the wall
+// clock; a second signal (or a drain overrun) hard-exits 130.
+func InstallSignalHandler(prog string, cancel context.CancelFunc) {
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintf(os.Stderr, "%s: interrupted: draining workers and flushing the checkpoint (signal again to hard-exit)\n", prog)
+		cancel()
+		// Shutdown grace is genuinely wall time — a hung worker must
+		// not turn Ctrl-C into an indefinite hang.
+		grace, stop := context.WithTimeout(context.Background(), 30*time.Second) //lint:allow detrand CLI shutdown grace is wall time by design
+		defer stop()
+		select {
+		case <-sigc:
+			fmt.Fprintf(os.Stderr, "%s: second signal: hard exit\n", prog)
+		case <-grace.Done():
+			fmt.Fprintf(os.Stderr, "%s: drain exceeded 30s grace: hard exit\n", prog)
+		}
+		os.Exit(130)
+	}()
+}
+
+// ExitInterrupted reports a cancelled run. With a checkpoint the exit
+// is the crash-only success path: progress is on disk and resumable.
+func ExitInterrupted(prog, checkpoint string) {
+	if checkpoint != "" {
+		fmt.Fprintf(os.Stderr, "%s: interrupted: checkpoint %s is valid; continue with -resume -checkpoint %s\n",
+			prog, checkpoint, checkpoint)
+		os.Exit(0)
+	}
+	fmt.Fprintf(os.Stderr, "%s: interrupted: no checkpoint, progress lost (use -checkpoint for resumable runs)\n", prog)
+	os.Exit(1)
+}
+
+// PrintQuarantine lists quarantined sites; the study still succeeded,
+// so this is a report, not an error.
+func PrintQuarantine(prog string, q *crawler.Quarantine) {
+	if q.Len() == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d site(s) quarantined (see %s): %s\n",
+		prog, q.Len(), q.ManifestPath(), strings.Join(q.Sites(), ", "))
+	fmt.Fprintf(os.Stderr, "%s: re-run them individually with -only %s\n", prog, strings.Join(q.Sites(), ","))
+}

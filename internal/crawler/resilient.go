@@ -2,6 +2,7 @@ package crawler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"piileak/internal/dnssim"
 	"piileak/internal/faultsim"
 	"piileak/internal/mailbox"
+	"piileak/internal/obs"
 	"piileak/internal/resilience"
 	"piileak/internal/site"
 	"piileak/internal/webgen"
@@ -52,6 +54,27 @@ type Options struct {
 	// OnResume, when set together with Resume, is called once with the
 	// loaded checkpoint's summary before crawling begins.
 	OnResume func(ResumeSummary)
+	// Obs, when set, receives the crawl's telemetry: per-site spans,
+	// outcome/record counters, checkpoint and quarantine activity, fault
+	// injections and the resilience machinery's accounting. A nil
+	// observer is free; telemetry never feeds back into the crawl.
+	Obs *obs.Run
+}
+
+// Validate rejects contradictory option combinations instead of
+// silently preferring one side. It is the single source of truth the
+// pipeline's embedded options validate through.
+func (o Options) Validate() error {
+	if o.Resume && o.CheckpointPath == "" {
+		return errors.New("crawler: Resume requires CheckpointPath")
+	}
+	if o.OnResume != nil && !o.Resume {
+		return errors.New("crawler: OnResume is set but Resume is not — the callback would never fire")
+	}
+	if o.SiteTimeout < 0 {
+		return fmt.Errorf("crawler: negative SiteTimeout %v", o.SiteTimeout)
+	}
+	return nil
 }
 
 // ResumeSummary describes what a resumed run recovered from its
@@ -68,6 +91,9 @@ type ResumeSummary struct {
 // emitted), so a resumed run stays byte-identical to an uninterrupted
 // one.
 func CrawlOpts(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, opts Options) (*Dataset, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	sites := opts.Sites
 	if sites == nil {
 		sites = eco.Sites
@@ -120,6 +146,7 @@ type faultTransport struct {
 	resolver *dnssim.Resolver
 	hits     map[string]int // per-host non-DNS fetch attempts
 	total    int            // every attempt, for SiteCrawl.Attempts
+	obs      *obs.Run       // telemetry side channel (nil = unobserved)
 
 	// deadline is the watchdog cutoff on the executor's clock; zero
 	// means no watchdog. timedOut latches once the deadline passes.
@@ -144,9 +171,22 @@ func newFaultTransport(ctx context.Context, eco *webgen.Ecosystem, inj *faultsim
 		inj:  inj,
 		exec: resilience.NewExecutor(opts.Policy, nil, seed),
 		hits: map[string]int{},
+		obs:  opts.Obs,
 	}
+	t.exec.Obs = opts.Obs
 	if inj != nil {
-		t.resolver = dnssim.NewResolver(eco.Zone, inj.DNSHook())
+		hook := inj.DNSHook()
+		if o := opts.Obs; o != nil {
+			inner := hook
+			hook = func(host string, attempt int) error {
+				err := inner(host, attempt)
+				if err != nil {
+					o.CountKind(obs.MetricFaultInjected, string(faultsim.KindDNS), 1)
+				}
+				return err
+			}
+		}
+		t.resolver = dnssim.NewResolver(eco.Zone, hook)
 	}
 	if opts.SiteTimeout > 0 {
 		t.budget = opts.SiteTimeout
@@ -194,6 +234,7 @@ func (t *faultTransport) Fetch(host string) error {
 		if f == nil {
 			return nil
 		}
+		t.obs.CountKind(obs.MetricFaultInjected, string(f.Kind), 1)
 		budget := t.exec.Policy.AttemptTimeout
 		switch f.Kind {
 		case faultsim.KindSlow:
@@ -232,6 +273,8 @@ func (t *faultTransport) account(c *SiteCrawl, b *browser.Browser) {
 	if t.inj != nil {
 		c.Attempts = t.total
 		c.Retries = t.exec.Retries
+		t.obs.Count(obs.MetricFetchAttempts, int64(t.total))
+		t.obs.Count(obs.MetricFetchRetries, int64(t.exec.Retries))
 	}
 	c.FailedFetches = b.FailedFetches
 }

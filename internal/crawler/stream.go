@@ -6,6 +6,8 @@ import (
 
 	"piileak/internal/browser"
 	"piileak/internal/mailbox"
+	"piileak/internal/obs"
+	"piileak/internal/resilience"
 	"piileak/internal/site"
 	"piileak/internal/webgen"
 )
@@ -78,6 +80,7 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 		ctx = context.Background()
 	}
 	inj := injectorFor(eco, opts)
+	o := opts.Obs
 
 	var ckpt *Checkpoint
 	if opts.CheckpointPath != "" {
@@ -87,25 +90,32 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 			return err
 		}
 		defer ckpt.Close()
-		if opts.Resume && opts.OnResume != nil {
-			opts.OnResume(ResumeSummary{Completed: ckpt.Done(), TornRecords: ckpt.TornRecords()})
+		if opts.Resume {
+			o.Count(obs.MetricCheckpointTorn, int64(ckpt.TornRecords()))
+			if opts.OnResume != nil {
+				opts.OnResume(ResumeSummary{Completed: ckpt.Done(), TornRecords: ckpt.TornRecords()})
+			}
 		}
 	}
 
 	if workers <= 1 {
 		b := browser.New(profile, eco.Zone)
 		b.Ctx = ctx
+		b.Obs = o
 		for i, s := range sites {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			if e, ok := ckpt.lookup(s.Domain); ok {
+				noteResumedSite(o, &e)
 				if err := emit(i, e); err != nil {
 					return err
 				}
 				continue
 			}
-			e := crawlEntryFor(b, eco, s, newFaultTransport(ctx, eco, inj, opts), opts.Quarantine)
+			sp := o.StartSpan(obs.StageCrawl, s.Domain, i)
+			rt := newFaultTransport(ctx, eco, inj, opts)
+			e := crawlEntryFor(b, eco, s, rt, opts.Quarantine)
 			if err := ctx.Err(); err != nil {
 				// Cancelled mid-site: the entry is abandoned so the
 				// checkpoint stays a clean prefix.
@@ -115,7 +125,9 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 				if err := ckpt.Append(e); err != nil {
 					return err
 				}
+				o.Count(obs.MetricCheckpointAppends, 1)
 			}
+			noteCrawledSite(o, sp, rt, &e)
 			if err := emit(i, e); err != nil {
 				return err
 			}
@@ -138,6 +150,7 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 	pending := make([]int, 0, len(sites))
 	for i, s := range sites {
 		if e, ok := ckpt.lookup(s.Domain); ok {
+			noteResumedSite(o, &e)
 			if err := emit(i, e); err != nil {
 				return err
 			}
@@ -165,8 +178,11 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 			defer wg.Done()
 			b := browser.New(profile, eco.Zone)
 			b.Ctx = ctx
+			b.Obs = o
 			for i := range next {
-				e := crawlEntryFor(b, eco, sites[i], newFaultTransport(ctx, eco, inj, opts), opts.Quarantine)
+				sp := o.StartSpan(obs.StageCrawl, sites[i].Domain, i)
+				rt := newFaultTransport(ctx, eco, inj, opts)
+				e := crawlEntryFor(b, eco, sites[i], rt, opts.Quarantine)
 				if err := ctx.Err(); err != nil {
 					// Drop the in-flight entry; the checkpoint keeps
 					// only sites finished before cancellation.
@@ -178,7 +194,9 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 						fail(err)
 						return
 					}
+					o.Count(obs.MetricCheckpointAppends, 1)
 				}
+				noteCrawledSite(o, sp, rt, &e)
 				if err := emit(i, e); err != nil {
 					fail(err)
 					return
@@ -187,6 +205,21 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 			}
 		}()
 	}
+	feedSites(ctx, pending, next, stop, fail)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if ckpt != nil {
+		return ckpt.Close()
+	}
+	return nil
+}
+
+// feedSites streams pending site indexes to the worker pool until the
+// list drains, a worker fails, or the run is cancelled, then closes the
+// feed channel.
+func feedSites(ctx context.Context, pending []int, next chan<- int, stop <-chan struct{}, fail func(error)) {
 feed:
 	for _, i := range pending {
 		select {
@@ -199,12 +232,49 @@ feed:
 		}
 	}
 	close(next)
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+}
+
+// noteCrawledSite closes a site's crawl span and folds its outcome into
+// the counters. rt's virtual clock, when the site ran under faults,
+// supplies the span's deterministic simulated duration.
+func noteCrawledSite(o *obs.Run, sp *obs.Span, rt *faultTransport, e *crawlEntry) {
+	if o == nil {
+		return
 	}
-	if ckpt != nil {
-		return ckpt.Close()
+	if rt != nil {
+		if vc, ok := rt.exec.Clock.(*resilience.VirtualClock); ok {
+			elapsed := vc.Elapsed()
+			sp.AddDuration(elapsed)
+			o.Observe(obs.HistSiteVirtualMS, elapsed.Milliseconds())
+		}
 	}
-	return nil
+	sp.SetN(len(e.Crawl.Records))
+	sp.SetOutcome(string(e.Crawl.Outcome))
+	sp.End()
+	noteSiteCounters(o, e)
+}
+
+// noteResumedSite counts a checkpoint-loaded site: it contributes to
+// the run's totals like any other, plus the resumed-sites counter. No
+// span — the work happened in a previous process.
+func noteResumedSite(o *obs.Run, e *crawlEntry) {
+	if o == nil {
+		return
+	}
+	o.Count(obs.MetricCheckpointResumed, 1)
+	noteSiteCounters(o, e)
+}
+
+// noteSiteCounters folds one finished site into the crawl counters.
+func noteSiteCounters(o *obs.Run, e *crawlEntry) {
+	o.Count(obs.MetricCrawlSites, 1)
+	o.CountKind(obs.MetricCrawlOutcome, string(e.Crawl.Outcome), 1)
+	o.Count(obs.MetricCrawlRecords, int64(len(e.Crawl.Records)))
+	o.Observe(obs.HistSiteRecords, int64(len(e.Crawl.Records)))
+	switch e.Crawl.Outcome {
+	case OutcomeTimeout:
+		o.Count(obs.MetricWatchdogTimeouts, 1)
+	case OutcomeCrashed:
+		o.CountKind(obs.MetricQuarantined, StageCrawl, 1)
+	}
 }

@@ -53,14 +53,14 @@ func TestDetectorPanicQuarantinesSite(t *testing.T) {
 		opts Options
 	}{
 		{"serial", Options{}},
-		{"parallel", Options{CrawlWorkers: 4, DetectWorkers: 3}},
+		{"parallel", Options{Options: crawler.Options{Workers: 4}, DetectWorkers: 3}},
 	} {
 		q, err := crawler.NewQuarantine(t.TempDir())
 		if err != nil {
 			t.Fatal(err)
 		}
 		opts := tc.opts
-		opts.Crawl.Quarantine = q
+		opts.Quarantine = q
 		res, err := Run(context.Background(), eco, profile, poisonDetector{real: det, victim: victim}, opts)
 		if err != nil {
 			t.Fatalf("%s: a panicking detector killed the run: %v", tc.name, err)

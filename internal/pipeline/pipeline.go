@@ -20,13 +20,14 @@ package pipeline
 
 import (
 	"context"
+	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"piileak/internal/browser"
 	"piileak/internal/core"
 	"piileak/internal/crawler"
 	"piileak/internal/httpmodel"
+	"piileak/internal/obs"
 	"piileak/internal/tracking"
 	"piileak/internal/webgen"
 )
@@ -38,21 +39,22 @@ type Detector interface {
 	DetectSite(siteDomain string, records []httpmodel.Record) []core.Leak
 }
 
-// Options configures a streamed study run.
+// Options configures a streamed study run. The embedded crawler.Options
+// is the single source of truth for the crawl stage — its Workers field
+// IS the crawl parallelism (<= 1 crawls serially with one browser), its
+// Obs field is the run's observer, and its site-subset / fault /
+// checkpoint / watchdog knobs apply unchanged. There is no separate
+// CrawlWorkers override anymore; Validate rejects contradictions
+// instead of silently preferring one side.
 type Options struct {
-	// CrawlWorkers sets the crawl stage's parallelism; <= 1 crawls
-	// serially with a single browser.
-	CrawlWorkers int
+	crawler.Options
+
 	// DetectWorkers sets the detection stage's parallelism; <= 0 means
 	// one worker.
 	DetectWorkers int
 	// Buffer is the capture channel's capacity; <= 0 selects 2. Together
 	// with the worker counts it bounds the captures in flight.
 	Buffer int
-	// Crawl carries the crawl-level options: site subset, fault
-	// injection, checkpointing. Its Workers field is overridden by
-	// CrawlWorkers.
-	Crawl crawler.Options
 	// KeepRecords retains full captures in the assembled dataset (the
 	// batch-compatible mode Study.Run uses). When false, records are
 	// released after detection and the dataset is thin.
@@ -60,6 +62,24 @@ type Options struct {
 	// Progress, when set, receives per-stage completion events. It is
 	// never called concurrently.
 	Progress func(Event)
+}
+
+// Validate rejects contradictory or nonsensical settings, delegating
+// the crawl-level checks to the embedded crawler.Options.
+func (o Options) Validate() error {
+	if err := o.Options.Validate(); err != nil {
+		return err
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("pipeline: negative crawl Workers %d", o.Workers)
+	}
+	if o.DetectWorkers < 0 {
+		return fmt.Errorf("pipeline: negative DetectWorkers %d", o.DetectWorkers)
+	}
+	if o.Buffer < 0 {
+		return fmt.Errorf("pipeline: negative Buffer %d", o.Buffer)
+	}
+	return nil
 }
 
 // Event is one progress tick from a pipeline stage.
@@ -117,23 +137,6 @@ type Result struct {
 	Stats Stats
 }
 
-// gauge tracks the in-flight capture count and its high-water mark.
-type gauge struct {
-	cur, high atomic.Int64
-}
-
-func (g *gauge) inc() {
-	c := g.cur.Add(1)
-	for {
-		h := g.high.Load()
-		if c <= h || g.high.CompareAndSwap(h, c) {
-			return
-		}
-	}
-}
-
-func (g *gauge) dec() { g.cur.Add(-1) }
-
 // siteOutput is one site after detection: the (possibly thinned) crawl
 // result, its leaks, the reduced request list when the site leaked, and
 // the pre-release record count.
@@ -159,6 +162,7 @@ func detectGuarded(det Detector, out *siteOutput, eco *webgen.Ecosystem, copts c
 				faultSeed = eco.Faults.Seed()
 			}
 			copts.Quarantine.Add(crawler.BundleFor(crawler.StageDetect, &out.res.Crawl, eco.Config.Seed, faultSeed, r))
+			copts.Obs.CountKind(obs.MetricQuarantined, crawler.StageDetect, 1)
 		}
 	}()
 	out.leaks = det.DetectSite(out.res.Crawl.Domain, out.res.Crawl.Records)
@@ -170,13 +174,18 @@ func detectGuarded(det Detector, out *siteOutput, eco *webgen.Ecosystem, copts c
 // detect and accumulate stages drain what was already captured before
 // Run returns ctx's error, so a checkpointed run is left resumable. A
 // panicking detector does not kill the run: the site is marked
-// OutcomeCrashed, quarantined (opts.Crawl.Quarantine), and skipped.
+// OutcomeCrashed, quarantined (opts.Quarantine), and skipped. opts.Obs
+// observes every stage; a nil observer costs nothing.
 func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, det Detector, opts Options) (*Result, error) {
-	sites := opts.Crawl.Sites
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	sites := opts.Sites
 	if sites == nil {
 		sites = eco.Sites
 	}
 	total := len(sites)
+	o := opts.Obs
 
 	detectWorkers := opts.DetectWorkers
 	if detectWorkers <= 0 {
@@ -200,20 +209,19 @@ func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, de
 		progressMu.Unlock()
 	}
 
-	var g gauge
+	var g obs.Watermark
 	captures := make(chan crawler.SiteResult, buffer)
 	outputs := make(chan siteOutput, buffer)
 
 	// Stage 1: crawl. Emissions block on the captures channel, which is
 	// the backpressure that bounds the pipeline's in-flight state.
-	copts := opts.Crawl
+	copts := opts.Options
 	copts.Sites = sites
-	copts.Workers = opts.CrawlWorkers
 	var crawlErr error
 	go func() {
 		defer close(captures)
 		crawlErr = crawler.CrawlStream(ctx, eco, profile, copts, func(r crawler.SiteResult) error {
-			g.inc()
+			g.Inc()
 			captures <- r
 			progressMu.Lock()
 			crawled++
@@ -235,6 +243,7 @@ func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, de
 		go func() {
 			defer wg.Done()
 			for r := range captures {
+				sp := o.StartSpan(obs.StageDetect, r.Crawl.Domain, r.Index)
 				out := siteOutput{res: r, records: len(r.Crawl.Records)}
 				if r.Crawl.Outcome == crawler.OutcomeSuccess {
 					detectGuarded(det, &out, eco, copts)
@@ -245,7 +254,9 @@ func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, de
 				if !opts.KeepRecords {
 					out.res.Crawl.Records = nil
 				}
-				g.dec()
+				g.Dec()
+				sp.SetN(len(out.leaks))
+				sp.End()
 				outputs <- out
 			}
 		}()
@@ -269,6 +280,7 @@ func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, de
 	detected := 0
 	leakCount := 0
 	for out := range outputs {
+		ap := o.StartSpan(obs.StageAccumulate, out.res.Crawl.Domain, out.res.Index)
 		results[out.res.Index] = out.res
 		leaksBySite[out.res.Index] = out.leaks
 		for i := range out.leaks {
@@ -285,10 +297,16 @@ func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, de
 		}
 		if !opts.KeepRecords && out.records > 0 {
 			stats.Released++
+			o.Count(obs.MetricReleased, 1)
 		}
 		totalRecords += out.records
 		leakCount += len(out.leaks)
 		detected++
+		o.Count(obs.MetricDetectSites, 1)
+		o.Count(obs.MetricDetectLeaks, int64(len(out.leaks)))
+		o.Observe(obs.HistSiteLeaks, int64(len(out.leaks)))
+		ap.SetN(len(out.leaks))
+		ap.End()
 		emitEvent(Event{Stage: "detect", Done: detected, Total: total, Site: out.res.Crawl.Domain, Leaks: leakCount})
 	}
 	if crawlErr != nil {
@@ -306,9 +324,14 @@ func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, de
 
 	stats.Sites = total
 	stats.Leaks = len(leaks)
-	stats.CaptureHighWater = int(g.high.Load())
+	stats.CaptureHighWater = int(g.High())
 	if opts.KeepRecords {
 		stats.CaptureHighWater = 0
+	} else {
+		// Streamed runs export the memory bound. It is the registry's one
+		// scheduler-dependent value (a bound, not an exact replay) in
+		// parallel runs, so batch mode omits it entirely.
+		o.GaugeSet(obs.MetricCaptureHighWater, g.High())
 	}
 
 	return &Result{

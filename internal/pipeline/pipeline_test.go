@@ -44,7 +44,7 @@ func TestRunMatchesBatch(t *testing.T) {
 		opts Options
 	}{
 		{"serial", Options{KeepRecords: true}},
-		{"parallel", Options{CrawlWorkers: 4, DetectWorkers: 3, KeepRecords: true}},
+		{"parallel", Options{Options: crawler.Options{Workers: 4}, DetectWorkers: 3, KeepRecords: true}},
 	} {
 		res, err := Run(context.Background(), eco, profile, det, tc.opts)
 		if err != nil {
@@ -85,7 +85,7 @@ func TestMemoryBound(t *testing.T) {
 		{"wide", 8, 4, 1, 8 + 1 + 4},
 	} {
 		res, err := Run(context.Background(), eco, profile, det, Options{
-			CrawlWorkers: tc.crawlW, DetectWorkers: tc.detectW, Buffer: tc.buffer,
+			Options: crawler.Options{Workers: tc.crawlW}, DetectWorkers: tc.detectW, Buffer: tc.buffer,
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
@@ -122,7 +122,7 @@ func TestProgressEvents(t *testing.T) {
 
 	crawlDone, detectDone, lastLeaks := 0, 0, -1
 	res, err := Run(context.Background(), eco, profile, det, Options{
-		CrawlWorkers: 3, DetectWorkers: 2,
+		Options: crawler.Options{Workers: 3}, DetectWorkers: 2,
 		Progress: func(ev Event) {
 			switch ev.Stage {
 			case "crawl":
@@ -159,7 +159,7 @@ func TestProgressEvents(t *testing.T) {
 // with the standalone computations over the leak list.
 func TestResultStoreViews(t *testing.T) {
 	eco, profile, det := fixture(t, 29)
-	res, err := Run(context.Background(), eco, profile, det, Options{CrawlWorkers: 2, DetectWorkers: 2})
+	res, err := Run(context.Background(), eco, profile, det, Options{Options: crawler.Options{Workers: 2}, DetectWorkers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"piileak/internal/obs"
 )
 
 // Policy bundles the retry, timeout and breaker knobs.
@@ -341,6 +343,10 @@ type Executor struct {
 	Seed     uint64
 	Breakers *BreakerSet
 
+	// Obs, when set, receives breaker-transition and refusal counts.
+	// Telemetry only — never an input to retry decisions.
+	Obs *obs.Run
+
 	// Retries counts attempts beyond each fetch's first.
 	Retries int
 }
@@ -375,14 +381,19 @@ func (e *Executor) DoContext(ctx context.Context, key string, op func() error) e
 		if err := ctxErr(ctx, last); err != nil {
 			return err
 		}
+		before := br.State()
 		if !br.Allow(e.Clock.Now()) {
+			e.Obs.Count(obs.MetricBreakerRefused, 1)
 			if last != nil {
 				return fmt.Errorf("%w: %s (last error: %v)", ErrCircuitOpen, key, last)
 			}
 			return fmt.Errorf("%w: %s", ErrCircuitOpen, key)
 		}
+		e.noteTransition(before, br.State())
+		before = br.State()
 		err := op()
 		br.Record(e.Clock.Now(), err == nil)
+		e.noteTransition(before, br.State())
 		if err == nil {
 			return nil
 		}
@@ -405,6 +416,22 @@ func (e *Executor) DoContext(ctx context.Context, key string, op func() error) e
 		}
 	}
 	return last
+}
+
+// noteTransition counts a breaker state change in the observer. It is
+// pure reporting: the state machine has already moved.
+func (e *Executor) noteTransition(from, to BreakerState) {
+	if e.Obs == nil || from == to {
+		return
+	}
+	switch to {
+	case BreakerOpen:
+		e.Obs.Count(obs.MetricBreakerOpened, 1)
+	case BreakerHalfOpen:
+		e.Obs.Count(obs.MetricBreakerHalfOpen, 1)
+	case BreakerClosed:
+		e.Obs.Count(obs.MetricBreakerClosed, 1)
+	}
 }
 
 // ctxErr wraps a context error with the last attempt's failure so the

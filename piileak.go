@@ -9,8 +9,14 @@
 //
 //	study, err := piileak.NewStudy(piileak.DefaultConfig())
 //	if err != nil { ... }
-//	if err := study.Run(); err != nil { ... }
+//	if err := study.Run(context.Background()); err != nil { ... }
 //	fmt.Println(report of study.Analysis.Headline())
+//
+// Run takes functional options: WithStream() releases captures after
+// detection, WithWorkers(4, 4) parallelizes both stages,
+// WithCheckpoint(path) makes the run resumable, and WithObserver(run)
+// attaches an obs.Run that collects deterministic metrics and stage
+// traces without changing a single output byte.
 //
 // Every experiment from the paper's evaluation is registered in
 // Experiments(); cmd/piirepro runs them all.
@@ -21,15 +27,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"piileak/internal/browser"
 	"piileak/internal/core"
 	"piileak/internal/countermeasure"
 	"piileak/internal/crawler"
 	"piileak/internal/dnssim"
+	"piileak/internal/faultsim"
+	"piileak/internal/obs"
 	"piileak/internal/pii"
 	"piileak/internal/pipeline"
 	"piileak/internal/policy"
+	"piileak/internal/resilience"
 	"piileak/internal/site"
 	"piileak/internal/tracking"
 	"piileak/internal/webgen"
@@ -120,39 +130,191 @@ func NewStudy(cfg Config) (*Study, error) {
 	}, nil
 }
 
+// RunOption configures one Study.Run call. Options apply in order over
+// the study's defaults (Config.Workers for both stages, batch mode with
+// full captures, no checkpoint, no observer).
+type RunOption func(*runConfig)
+
+// runConfig is the resolved option set a Run call executes under.
+type runConfig struct {
+	opts   pipeline.Options
+	stream bool
+}
+
+// defaultRunConfig seeds the option set from the study's Config,
+// matching what the deprecated RunContext wrapper always did: both
+// stages at Config.Workers, batch (KeepRecords) mode.
+func (s *Study) defaultRunConfig() runConfig {
+	var rc runConfig
+	rc.opts.Workers = s.Config.Workers
+	rc.opts.DetectWorkers = s.Config.Workers
+	return rc
+}
+
+// WithStream releases per-site captures right after detection: peak
+// memory stays bounded by the in-flight worker count, the assembled
+// Dataset is thin (crawl outcomes, mailbox and block counters survive,
+// Records do not), and the study is marked Streamed so experiments
+// needing raw captures refuse to run. Leaks, analysis and every table
+// are byte-identical to a batch run's.
+func WithStream() RunOption {
+	return func(rc *runConfig) { rc.stream = true }
+}
+
+// WithWorkers sets the crawl and detect stages' parallelism. Values <= 1
+// run the stage serially; results are byte-identical at any setting.
+func WithWorkers(crawl, detect int) RunOption {
+	return func(rc *runConfig) {
+		rc.opts.Workers = crawl
+		rc.opts.DetectWorkers = detect
+	}
+}
+
+// WithBuffer sets the capture channel's capacity (default 2). Together
+// with the worker counts it bounds the captures in flight.
+func WithBuffer(n int) RunOption {
+	return func(rc *runConfig) { rc.opts.Buffer = n }
+}
+
+// WithCheckpoint persists per-site progress to path so an interrupted
+// run can continue with WithResume.
+func WithCheckpoint(path string) RunOption {
+	return func(rc *runConfig) { rc.opts.CheckpointPath = path }
+}
+
+// WithResume loads completed sites from the WithCheckpoint file instead
+// of re-crawling them. onResume, when non-nil, receives the loaded
+// checkpoint's summary before crawling begins.
+func WithResume(onResume func(crawler.ResumeSummary)) RunOption {
+	return func(rc *runConfig) {
+		rc.opts.Resume = true
+		rc.opts.OnResume = onResume
+	}
+}
+
+// WithObserver attaches a telemetry run: deterministic metrics, stage
+// spans and the run manifest (internal/obs). Observation is a side
+// channel — leak output and every table stay byte-identical with it on
+// or off.
+func WithObserver(o *obs.Run) RunOption {
+	return func(rc *runConfig) { rc.opts.Obs = o }
+}
+
+// WithSiteTimeout caps each site's crawl budget on the run's clock
+// (virtual under fault injection); sites over budget are recorded as
+// OutcomeTimeout with their partial captures.
+func WithSiteTimeout(d time.Duration) RunOption {
+	return func(rc *runConfig) { rc.opts.SiteTimeout = d }
+}
+
+// WithQuarantine collects diagnostics bundles for sites whose crawl or
+// detection panicked; the study continues without them.
+func WithQuarantine(q *crawler.Quarantine) RunOption {
+	return func(rc *runConfig) { rc.opts.Quarantine = q }
+}
+
+// WithSites restricts the run to a site subset (re-running quarantined
+// domains, bisecting failures).
+func WithSites(sites []*site.Site) RunOption {
+	return func(rc *runConfig) { rc.opts.Sites = sites }
+}
+
+// WithFaults overrides the ecosystem's fault injector for this run.
+func WithFaults(inj *faultsim.Injector) RunOption {
+	return func(rc *runConfig) { rc.opts.Faults = inj }
+}
+
+// WithRetryPolicy tunes the resilient transport's retry/backoff/breaker
+// behaviour; zero fields take resilience.DefaultPolicy values.
+func WithRetryPolicy(p resilience.Policy) RunOption {
+	return func(rc *runConfig) { rc.opts.Policy = p }
+}
+
+// Event is one progress tick from a pipeline stage, re-exported so
+// WithProgress callers outside this module's internals can name it.
+type Event = pipeline.Event
+
+// WithProgress receives per-stage completion events; it is never called
+// concurrently.
+func WithProgress(fn func(Event)) RunOption {
+	return func(rc *runConfig) { rc.opts.Progress = fn }
+}
+
 // Run executes the §3.2 crawl and the §4 detection over every candidate
 // site, populating Dataset, Leaks, Analysis and the shared Result
-// store. It runs the same fused pipeline as RunStream but keeps the
-// full captures, so the dataset is byte-identical to a batch crawl.
-func (s *Study) Run() error {
-	return s.RunContext(context.Background())
+// store. The default is batch-compatible: the fused pipeline runs with
+// full captures kept, so the dataset is byte-identical to a batch
+// crawl. Options select streaming, parallelism, checkpointing,
+// observation and the crash-only runtime's knobs; contradictory
+// combinations are rejected up front (pipeline.Options.Validate).
+// Cancelling ctx stops the crawl between sites and surfaces ctx's
+// error.
+func (s *Study) Run(ctx context.Context, options ...RunOption) error {
+	rc := s.defaultRunConfig()
+	for _, opt := range options {
+		if opt != nil {
+			opt(&rc)
+		}
+	}
+	rc.opts.KeepRecords = !rc.stream
+	return s.runPipeline(ctx, rc.opts)
 }
 
-// RunContext is Run under a cancellable context: cancellation stops the
-// crawl between sites (see pipeline.Run) and surfaces ctx's error.
+// RunContext is Run without options.
+//
+// Deprecated: call Run(ctx) — RunContext survives as a thin wrapper for
+// one release.
 func (s *Study) RunContext(ctx context.Context) error {
-	return s.RunStreamContext(ctx, pipeline.Options{
-		DetectWorkers: s.Config.Workers,
-		KeepRecords:   true,
-	})
+	return s.Run(ctx)
 }
 
-// RunStream executes the fused crawl+detect pipeline under explicit
-// options. Unless opts.KeepRecords is set, per-site captures are
-// released right after detection (peak memory stays bounded by the
-// in-flight worker count) and the study is marked Streamed: Dataset is
-// thin — crawl outcomes, mailbox and block counters survive, Records do
-// not — and experiments needing raw captures refuse to run. Leaks,
-// analysis and every table are byte-identical to Run's regardless of
-// worker counts or completion order.
+// RunStream executes the fused pipeline under a raw pipeline.Options.
+//
+// Deprecated: call Run(ctx, WithStream(), ...) — functional options
+// replace the raw struct. RunStream survives as a thin wrapper for one
+// release.
 func (s *Study) RunStream(opts pipeline.Options) error {
 	return s.RunStreamContext(context.Background(), opts)
 }
 
 // RunStreamContext is RunStream under a cancellable context.
+//
+// Deprecated: call Run(ctx, WithStream(), ...) — functional options
+// replace the raw struct. RunStreamContext survives as a thin wrapper
+// for one release.
 func (s *Study) RunStreamContext(ctx context.Context, opts pipeline.Options) error {
-	if opts.CrawlWorkers == 0 {
-		opts.CrawlWorkers = s.Config.Workers
+	if opts.Workers == 0 {
+		opts.Workers = s.Config.Workers
+	}
+	return s.runPipeline(ctx, opts)
+}
+
+// runPipeline is the single execution path every entry point funnels
+// into: validate, stamp the observer's run manifest, run the fused
+// pipeline, populate the study.
+func (s *Study) runPipeline(ctx context.Context, opts pipeline.Options) error {
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	if o := opts.Obs; o != nil {
+		info := obs.RunInfo{
+			EcoSeed:       s.Eco.Config.Seed,
+			Browser:       s.Config.Browser.Name + " " + s.Config.Browser.Version,
+			Sites:         len(s.Eco.Sites),
+			CrawlWorkers:  opts.Workers,
+			DetectWorkers: opts.DetectWorkers,
+			Streamed:      !opts.KeepRecords,
+		}
+		if opts.Sites != nil {
+			info.Sites = len(opts.Sites)
+		}
+		if s.Eco.Faults != nil {
+			info.FaultSeed = s.Eco.Faults.Seed()
+		}
+		if opts.Faults != nil {
+			info.FaultSeed = opts.Faults.Seed()
+		}
+		o.SetInfo(info)
 	}
 	res, err := pipeline.Run(ctx, s.Eco, s.Config.Browser, s.Detector, opts)
 	if err != nil {

@@ -2,6 +2,7 @@ package piileak
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -18,7 +19,7 @@ func study(t testing.TB) *Study {
 	fullStudy.once.Do(func() {
 		s, err := NewStudy(DefaultConfig())
 		if err == nil {
-			err = s.Run()
+			err = s.Run(context.Background())
 		}
 		fullStudy.study, fullStudy.err = s, err
 	})
@@ -391,10 +392,10 @@ func TestStudyDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Run(); err != nil {
+	if err := a.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if len(a.Leaks) != len(b.Leaks) {
@@ -454,7 +455,7 @@ func TestParallelStudyMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := serial.Run(); err != nil {
+	if err := serial.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	cfg := SmallConfig(37)
@@ -463,7 +464,7 @@ func TestParallelStudyMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := par.Run(); err != nil {
+	if err := par.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if serial.Analysis.Headline() != par.Analysis.Headline() {

@@ -9,7 +9,7 @@ import (
 
 	"piileak/internal/core"
 	"piileak/internal/crawler"
-	"piileak/internal/pipeline"
+	"piileak/internal/obs"
 )
 
 func leaksJSON(t *testing.T, s *Study) []byte {
@@ -24,9 +24,12 @@ func leaksJSON(t *testing.T, s *Study) []byte {
 // TestStreamModesByteIdentical is the pipeline's hard invariant: batch,
 // streamed-serial, streamed-parallel and checkpoint-resumed runs must
 // produce byte-identical leak output and identical Table 1/2/4 numbers,
-// regardless of worker counts or completion order.
+// regardless of worker counts or completion order. The streamed arms
+// run with an active observer — telemetry is a side channel and must
+// not move a single output byte.
 func TestStreamModesByteIdentical(t *testing.T) {
 	const seed = 37
+	ctx := context.Background()
 
 	newStudy := func() *Study {
 		s, err := NewStudy(SmallConfig(seed))
@@ -37,17 +40,17 @@ func TestStreamModesByteIdentical(t *testing.T) {
 	}
 
 	batch := newStudy()
-	if err := batch.Run(); err != nil {
+	if err := batch.Run(ctx); err != nil {
 		t.Fatal(err)
 	}
 
 	serial := newStudy()
-	if err := serial.RunStream(pipeline.Options{}); err != nil {
+	if err := serial.Run(ctx, WithStream(), WithObserver(obs.NewRun(nil))); err != nil {
 		t.Fatal(err)
 	}
 
 	parallel := newStudy()
-	if err := parallel.RunStream(pipeline.Options{CrawlWorkers: 4, DetectWorkers: 4, Buffer: 2}); err != nil {
+	if err := parallel.Run(ctx, WithStream(), WithWorkers(4, 4), WithBuffer(2), WithObserver(obs.NewRun(nil))); err != nil {
 		t.Fatal(err)
 	}
 
@@ -62,11 +65,8 @@ func TestStreamModesByteIdentical(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := resumed.RunStream(pipeline.Options{
-		CrawlWorkers:  3,
-		DetectWorkers: 2,
-		Crawl:         crawler.Options{CheckpointPath: ckpt, Resume: true},
-	}); err != nil {
+	if err := resumed.Run(ctx, WithStream(), WithWorkers(3, 2),
+		WithCheckpoint(ckpt), WithResume(nil), WithObserver(obs.NewRun(nil))); err != nil {
 		t.Fatal(err)
 	}
 
@@ -123,7 +123,7 @@ func TestStreamedStudyThin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.RunStream(pipeline.Options{CrawlWorkers: 2, DetectWorkers: 2}); err != nil {
+	if err := s.Run(context.Background(), WithStream(), WithWorkers(2, 2)); err != nil {
 		t.Fatal(err)
 	}
 	if !s.Streamed {
