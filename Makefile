@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt lint race bench fuzz torture check clean
+.PHONY: all build test vet fmt lint race bench fuzz torture torture-shard check clean
 
 all: check
 
@@ -36,10 +36,14 @@ bench:
 	$(GO) test -json -bench '^BenchmarkPiilint$$' -benchmem -run '^$$' ./internal/analysis/suite > BENCH_lint.json
 	$(GO) test -json -bench '^BenchmarkWatchdog$$' -benchmem -run '^$$' . > BENCH_ctx.json
 	$(GO) test -json -bench '^BenchmarkObsOverhead$$' -benchmem -run '^$$' . > BENCH_obs.json
+	$(GO) test -json -bench '^BenchmarkShardMerge$$' -benchmem -run '^$$' . > BENCH_shard.json
 
-# Short fuzz smoke for the dataset decoder hardening.
+# Short fuzz smoke for the dataset decoder hardening and the sharded
+# runtime's plan/result readers.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime 10s ./internal/crawler/
+	$(GO) test -run '^$$' -fuzz FuzzParsePlan -fuzztime 10s ./internal/shard/
+	$(GO) test -run '^$$' -fuzz FuzzParseResult -fuzztime 10s ./internal/shard/
 
 # Crash-consistency torture: re-execs a checkpointing crawl subprocess,
 # kills it at seeded random points (including mid-record), resumes, and
@@ -47,6 +51,13 @@ fuzz:
 # to an uninterrupted run. -short trims the kill rounds for CI.
 torture:
 	$(GO) test -short -timeout 300s -count=1 -run '^TestTortureCrashConsistency$$' -v .
+
+# Sharded torture: same kill machinery, but each victim is a re-execed
+# shard worker of a K-way split. Shards are killed mid-checkpoint-append,
+# resumed until they complete, then the digest-verified merge must be
+# byte-identical to an uninterrupted unsharded run (DESIGN.md §11).
+torture-shard:
+	$(GO) test -short -timeout 300s -count=1 -run '^TestTortureShardedCrashConsistency$$' -v .
 
 # The gate every change must pass.
 check: fmt vet lint build race

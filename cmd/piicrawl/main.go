@@ -53,10 +53,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 
 	"piileak"
 	"piileak/internal/cliflags"
 	"piileak/internal/crawler"
+	"piileak/internal/obs"
+	"piileak/internal/resilience"
+	"piileak/internal/shard"
 	"piileak/internal/webgen"
 )
 
@@ -78,6 +82,28 @@ func main() {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	cliflags.InstallSignalHandler(prog, cancel)
+
+	if shardIdx, shardN, isWorker := common.ShardCoords(); isWorker || common.Supervise {
+		study, err := piileak.NewStudy(common.StudyConfig())
+		if err != nil {
+			fatal(err)
+		}
+		profile, err := common.ResolveProfile(study.Eco)
+		if err != nil {
+			fatal(err)
+		}
+		study.Config.Browser = profile
+		rt, err := common.Runtime(study.Eco)
+		if err != nil {
+			fatal(err)
+		}
+		if isWorker {
+			workerRun(ctx, study, common, rt, shardIdx, shardN)
+		} else {
+			superviseRun(ctx, study, common, rt, *out)
+		}
+		return
+	}
 
 	if common.Stream {
 		// Only the fused pipeline needs the detection machinery (the
@@ -165,6 +191,128 @@ func printFunnel(ds *crawler.Dataset, totalRecords, captureHighWater int, faulty
 		}
 		fmt.Fprintf(os.Stderr, "fetch attempts: %d  retries: %d  failed fetches: %d\n",
 			attempts, retried, failed)
+	}
+}
+
+// shardCrawlerOptions is the crawl-knob subset a sharded run forwards
+// to its workers: the shard runtime owns sites, checkpoints and
+// quarantine paths, so only the behavioural knobs pass through.
+func shardCrawlerOptions(common *cliflags.Common, rt *cliflags.Runtime) crawler.Options {
+	return crawler.Options{
+		Policy:      resilience.Policy{MaxAttempts: common.Retries},
+		SiteTimeout: common.SiteTimeout,
+		Obs:         rt.Observer,
+	}
+}
+
+// workerRun executes one shard worker: crawl + detect over the shard's
+// interleaved site slice, checkpointed, ending in the shard's verified
+// result file under -shard-dir. The supervisor (or a later
+// merge) picks the file up; the worker itself writes no dataset.
+func workerRun(ctx context.Context, study *piileak.Study, common *cliflags.Common, rt *cliflags.Runtime, shardIdx, shardN int) {
+	if o := rt.Observer; o != nil {
+		o.SetInfo(obs.RunInfo{
+			EcoSeed:      study.Eco.Config.Seed,
+			Browser:      study.Config.Browser.Name + " " + study.Config.Browser.Version,
+			Sites:        (len(study.Eco.Sites) + shardN - 1 - shardIdx) / shardN,
+			CrawlWorkers: common.Workers,
+			Streamed:     true,
+			Shards:       shardN,
+			Shard:        fmt.Sprintf("%d/%d", shardIdx, shardN),
+		})
+	}
+	path, err := shard.RunWorker(ctx, study.Eco, study.Config.Browser, study.Detector, shard.WorkerConfig{
+		Shard:         shardIdx,
+		Shards:        shardN,
+		Dir:           common.ShardDir,
+		Workers:       common.Workers,
+		DetectWorkers: common.Workers,
+		Options:       shardCrawlerOptions(common, rt),
+		QuarantineDir: common.QuarantineDir,
+		Checkpoint:    common.Checkpoint,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			ckpt := common.Checkpoint
+			if ckpt == "" {
+				ckpt = shard.CheckpointPath(common.ShardDir, shardIdx, shardN)
+			}
+			cliflags.ExitInterrupted(prog, ckpt)
+		}
+		fatal(err)
+	}
+	if err := common.WriteTelemetry(rt); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: shard %d/%d complete: %s\n", prog, shardIdx, shardN, path)
+}
+
+// superviseRun runs the full sharded study under the self-healing
+// supervisor and writes the merged leak list (the -stream output
+// shape). A partial merge — some shard exhausted its restarts — still
+// writes the surviving leaks; the gaps are in the report.
+func superviseRun(ctx context.Context, study *piileak.Study, common *cliflags.Common, rt *cliflags.Runtime, out string) {
+	sopts := shard.Options{
+		Shards:        common.Shards,
+		Dir:           common.ShardDir,
+		Workers:       common.Workers,
+		DetectWorkers: common.Workers,
+		Crawl:         shardCrawlerOptions(common, rt),
+		QuarantineDir: common.QuarantineDir,
+		MaxRestarts:   common.MaxRestarts,
+		Obs:           rt.Observer,
+		Fresh:         !common.Resume,
+		StallTimeout:  common.StallTimeout,
+	}
+	if common.Reexec {
+		exe, err := os.Executable()
+		if err != nil {
+			fatal(err)
+		}
+		sopts.Command = func(s int) *exec.Cmd {
+			cmd := exec.Command(exe, common.ShardWorkerArgs(s)...)
+			cmd.Stderr = os.Stderr
+			return cmd
+		}
+	}
+	report, err := study.RunSharded(ctx, sopts)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "%s: interrupted: shard state under %s is valid; continue with -resume\n", prog, common.ShardDir)
+			os.Exit(0)
+		}
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "%s: %d/%d shards merged, %d sites, %d leaks\n",
+		prog, len(report.Completed), report.Shards, report.MergedSites, report.Leaks)
+	if report.Partial {
+		for _, m := range report.Missing {
+			fmt.Fprintf(os.Stderr, "%s: shard %d missing after %d attempt(s): %d site(s) not in the tables (see %s)\n",
+				prog, m.Shard, m.Attempts, len(m.Sites), shard.ReportPath(common.ShardDir))
+		}
+	}
+	if err := common.WriteTelemetry(rt); err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(study.Leaks); err != nil {
+		fatal(err)
 	}
 }
 

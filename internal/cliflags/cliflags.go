@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -69,6 +70,22 @@ type Common struct {
 	Checkpoint string
 	Resume     bool
 
+	// Shards shards the study into K failure domains; Shard selects one
+	// ("i" with -shards, or the self-contained "i/K" form) to run as a
+	// single worker; Supervise runs all K under the self-healing
+	// supervisor and merges. ShardDir is the shard working directory
+	// (plan, checkpoints, results, report). Reexec makes the supervisor
+	// run workers as re-execed subprocesses, watched by the
+	// StallTimeout checkpoint-growth watchdog; MaxRestarts caps
+	// per-shard restarts (0 = default 2, negative = never restart).
+	Shards       int
+	Shard        string
+	Supervise    bool
+	ShardDir     string
+	Reexec       bool
+	StallTimeout time.Duration
+	MaxRestarts  int
+
 	// Metrics and Trace name telemetry output files (deterministic
 	// metrics JSON, stage-trace JSONL). Setting either attaches an
 	// observer to the run. Pprof, when non-empty, serves
@@ -95,6 +112,13 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.Only, "only", "", "comma-separated site domains to crawl (e.g. re-running quarantined sites)")
 	fs.StringVar(&c.Checkpoint, "checkpoint", "", "write per-site progress to this file")
 	fs.BoolVar(&c.Resume, "resume", false, "resume a previous run from -checkpoint")
+	fs.IntVar(&c.Shards, "shards", 0, "shard the study into K independent failure domains (0 = unsharded)")
+	fs.StringVar(&c.Shard, "shard", "", "run one shard worker: index i (with -shards), or the self-contained i/K form")
+	fs.BoolVar(&c.Supervise, "supervise", false, "run all -shards workers under the self-healing supervisor and merge")
+	fs.StringVar(&c.ShardDir, "shard-dir", "", "shard working directory (plan, per-shard checkpoints and results, report)")
+	fs.BoolVar(&c.Reexec, "reexec", false, "supervisor runs shard workers as re-execed subprocesses")
+	fs.DurationVar(&c.StallTimeout, "stall-timeout", 0, "kill a re-execed worker whose checkpoint stops growing for this long (0 disables)")
+	fs.IntVar(&c.MaxRestarts, "max-restarts", 0, "per-shard restart budget (0 = default 2, negative = never restart)")
 	fs.StringVar(&c.Metrics, "metrics", "", "write the run's deterministic metrics + manifest JSON to this file")
 	fs.StringVar(&c.Trace, "trace", "", "write the run's stage-trace JSONL to this file")
 	fs.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -107,10 +131,168 @@ func (c *Common) Validate() error {
 	if c.Faults < 0 || c.Faults > 1 {
 		return fmt.Errorf("-faults %v out of range [0, 1]", c.Faults)
 	}
-	if c.Resume && c.Checkpoint == "" {
+	// Sharded runs keep their checkpoints under -shard-dir, so -resume
+	// stands alone there; everywhere else it needs -checkpoint.
+	if c.Resume && c.Checkpoint == "" && !c.Supervise && c.Shard == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
 	}
+	return c.validateShards()
+}
+
+// validateShards enforces the sharded mode's flag algebra: every
+// contradictory combination is a named error here instead of a
+// confusing failure mid-run.
+func (c *Common) validateShards() error {
+	if c.Shards < 0 {
+		return fmt.Errorf("-shards %d is negative", c.Shards)
+	}
+	shard, shards, isWorker, err := c.shardCoords()
+	if err != nil {
+		return err
+	}
+	if c.Supervise && isWorker {
+		return fmt.Errorf("-supervise and -shard are exclusive: supervise the study or be one worker of it")
+	}
+	if c.Supervise && c.Shards == 0 {
+		return fmt.Errorf("-supervise requires -shards")
+	}
+	if c.Shards > 0 && !c.Supervise && !isWorker {
+		return fmt.Errorf("-shards %d needs a mode: -supervise to run them all, or -shard i to run one worker", c.Shards)
+	}
+	sharded := c.Supervise || isWorker
+	if !sharded {
+		if c.ShardDir != "" {
+			return fmt.Errorf("-shard-dir is only meaningful with -shards")
+		}
+		if c.Reexec || c.StallTimeout != 0 || c.MaxRestarts != 0 {
+			return fmt.Errorf("-reexec, -stall-timeout and -max-restarts are only meaningful with -supervise")
+		}
+		return nil
+	}
+	if c.ShardDir == "" {
+		return fmt.Errorf("sharded runs need -shard-dir for the plan, checkpoints and results")
+	}
+	if c.Only != "" {
+		return fmt.Errorf("-shards and -only are contradictory: the shard plan partitions the full site universe")
+	}
+	if c.StallTimeout < 0 {
+		return fmt.Errorf("-stall-timeout %v is negative", c.StallTimeout)
+	}
+	if c.Supervise {
+		if c.Checkpoint != "" {
+			return fmt.Errorf("-supervise owns each shard's checkpoint under -shard-dir; drop -checkpoint")
+		}
+		if c.StallTimeout > 0 && !c.Reexec {
+			return fmt.Errorf("-stall-timeout watches re-execed workers; add -reexec (in-process workers use -site-timeout)")
+		}
+		return nil
+	}
+	// Worker mode: a custom -checkpoint must not point a shard at a
+	// checkpoint from a different scope. Peek at the header — a file
+	// that exists with the wrong (or no) shard label would be refused
+	// at open time anyway, but failing at flag validation names the
+	// actual mistake.
+	if c.Reexec || c.StallTimeout != 0 || c.MaxRestarts != 0 {
+		return fmt.Errorf("-reexec, -stall-timeout and -max-restarts are supervisor flags; a -shard worker does not take them")
+	}
+	if c.Resume && c.Checkpoint != "" {
+		label, found, err := crawler.CheckpointShard(c.Checkpoint)
+		if err != nil {
+			return fmt.Errorf("-checkpoint: %w", err)
+		}
+		want := fmt.Sprintf("%d/%d", shard, shards)
+		if found && label == "" {
+			return fmt.Errorf("-resume: %s is an unsharded run's checkpoint; shard %s cannot resume it", c.Checkpoint, want)
+		}
+		if found && label != want {
+			return fmt.Errorf("-resume: %s belongs to shard %s, not %s", c.Checkpoint, label, want)
+		}
+	}
 	return nil
+}
+
+// shardCoords parses the -shard/-shards pair. The -shard flag accepts
+// a bare index (scoped by -shards) or the self-contained "i/K" form; if
+// both are given the K values must agree.
+func (c *Common) shardCoords() (shard, shards int, ok bool, err error) {
+	if c.Shard == "" {
+		return 0, 0, false, nil
+	}
+	spec := c.Shard
+	if i, k, found := strings.Cut(spec, "/"); found {
+		shard, err = strconv.Atoi(strings.TrimSpace(i))
+		if err == nil {
+			shards, err = strconv.Atoi(strings.TrimSpace(k))
+		}
+		if err != nil {
+			return 0, 0, false, fmt.Errorf("-shard %q: want i/K (e.g. 2/8)", spec)
+		}
+		if c.Shards > 0 && shards != c.Shards {
+			return 0, 0, false, fmt.Errorf("-shard %s disagrees with -shards %d", spec, c.Shards)
+		}
+	} else {
+		shard, err = strconv.Atoi(strings.TrimSpace(spec))
+		if err != nil {
+			return 0, 0, false, fmt.Errorf("-shard %q: want an index or i/K", spec)
+		}
+		if c.Shards == 0 {
+			return 0, 0, false, fmt.Errorf("-shard %s needs -shards K (or use the i/K form)", spec)
+		}
+		shards = c.Shards
+	}
+	if shards < 1 {
+		return 0, 0, false, fmt.Errorf("-shard %s: shard count %d must be >= 1", spec, shards)
+	}
+	if shard < 0 || shard >= shards {
+		return 0, 0, false, fmt.Errorf("-shard %s: index %d out of range [0, %d)", spec, shard, shards)
+	}
+	return shard, shards, true, nil
+}
+
+// ShardCoords resolves the validated -shard worker coordinates;
+// ok is false when the run is not a shard worker.
+func (c *Common) ShardCoords() (shard, shards int, ok bool) {
+	shard, shards, ok, err := c.shardCoords()
+	if err != nil {
+		return 0, 0, false
+	}
+	return shard, shards, ok
+}
+
+// ShardWorkerArgs builds the argv (minus argv[0]) that re-execs this
+// run as the given shard's worker: the study-shaping flags replicated,
+// the shard coordinates in self-contained i/K form, and none of the
+// supervisor-only flags. The supervisor's subprocess mode feeds this to
+// its own executable.
+func (c *Common) ShardWorkerArgs(shard int) []string {
+	args := []string{
+		"-seed", strconv.FormatUint(c.Seed, 10),
+		"-browser", c.Browser,
+		"-shard", fmt.Sprintf("%d/%d", shard, c.Shards),
+		"-shard-dir", c.ShardDir,
+	}
+	if c.Small {
+		args = append(args, "-small")
+	}
+	if c.Workers != 0 {
+		args = append(args, "-workers", strconv.Itoa(c.Workers))
+	}
+	if c.Faults > 0 {
+		args = append(args, "-faults", strconv.FormatFloat(c.Faults, 'g', -1, 64))
+	}
+	if c.FaultSeed != 0 {
+		args = append(args, "-fault-seed", strconv.FormatUint(c.FaultSeed, 10))
+	}
+	if c.Retries > 0 {
+		args = append(args, "-retries", strconv.Itoa(c.Retries))
+	}
+	if c.SiteTimeout > 0 {
+		args = append(args, "-site-timeout", c.SiteTimeout.String())
+	}
+	if c.QuarantineDir != "" {
+		args = append(args, "-quarantine", c.QuarantineDir)
+	}
+	return args
 }
 
 // StudyConfig builds the study configuration the flags describe. The

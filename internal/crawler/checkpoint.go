@@ -41,32 +41,61 @@ type Checkpoint struct {
 var CheckpointFailpoint func(event string, appends int)
 
 // checkpointHeader pins a checkpoint to one run: resuming under a
-// different seed, site population or browser silently mixes datasets,
-// so it is refused instead.
+// different seed, site population, browser or shard scope silently
+// mixes datasets, so it is refused instead. Shard is the "i/K" label of
+// a sharded study's failure domain ("" for unsharded runs) — a shard
+// checkpoint resumed by a different shard, or an unsharded checkpoint
+// resumed by a sharded run, is a header mismatch, not silent data
+// corruption.
 type checkpointHeader struct {
 	Version int    `json:"version"`
 	Browser string `json:"browser"`
 	Seed    uint64 `json:"seed"`
 	Sites   int    `json:"sites"`
+	Shard   string `json:"shard,omitempty"`
 }
 
 const checkpointVersion = 1
 
-func headerFor(eco *webgen.Ecosystem, profile browser.Profile) checkpointHeader {
+func headerFor(eco *webgen.Ecosystem, profile browser.Profile, shard string) checkpointHeader {
 	return checkpointHeader{
 		Version: checkpointVersion,
 		Browser: profile.Name + " " + profile.Version,
 		Seed:    eco.Config.Seed,
 		Sites:   eco.Config.ShoppingSites,
+		Shard:   shard,
 	}
+}
+
+// CheckpointShard peeks at a checkpoint file's header and reports the
+// shard label it was written under ("" = unsharded). found is false
+// when the file does not exist or its header line is unreadable — the
+// caller cannot conclude anything about such a file beyond "not a
+// valid checkpoint".
+func CheckpointShard(path string) (shard string, found bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return "", false, nil
+	}
+	if err != nil {
+		return "", false, fmt.Errorf("crawler: checkpoint %s: %w", path, err)
+	}
+	line, _, _ := bytes.Cut(data, []byte("\n"))
+	var hdr checkpointHeader
+	if json.Unmarshal(line, &hdr) != nil || hdr.Version == 0 {
+		return "", false, nil
+	}
+	return hdr.Shard, true, nil
 }
 
 // OpenCheckpoint opens a checkpoint file for a run. With resume set and
 // an existing file, completed entries are loaded (and the file's torn
-// tail, if any, discarded); otherwise the file is created fresh.
-func OpenCheckpoint(path string, eco *webgen.Ecosystem, profile browser.Profile, resume bool) (*Checkpoint, error) {
+// tail, if any, discarded); otherwise the file is created fresh. shard
+// is the run's "i/K" shard label ("" for unsharded runs) — resuming
+// across shard scopes is refused via the header check.
+func OpenCheckpoint(path string, eco *webgen.Ecosystem, profile browser.Profile, resume bool, shard string) (*Checkpoint, error) {
 	c := &Checkpoint{path: path, entries: map[string]crawlEntry{}}
-	want := headerFor(eco, profile)
+	want := headerFor(eco, profile, shard)
 
 	if resume {
 		if err := c.load(want); err != nil {
@@ -146,8 +175,8 @@ func (c *Checkpoint) load(want checkpointHeader) error {
 		return fmt.Errorf("crawler: checkpoint %s: malformed header: %w", c.path, err)
 	}
 	if hdr != want {
-		return fmt.Errorf("crawler: checkpoint %s: written for %s seed=%d sites=%d, resume requested for %s seed=%d sites=%d",
-			c.path, hdr.Browser, hdr.Seed, hdr.Sites, want.Browser, want.Seed, want.Sites)
+		return fmt.Errorf("crawler: checkpoint %s: written for %s seed=%d sites=%d shard=%q, resume requested for %s seed=%d sites=%d shard=%q",
+			c.path, hdr.Browser, hdr.Seed, hdr.Sites, hdr.Shard, want.Browser, want.Seed, want.Sites, want.Shard)
 	}
 	rest := lines[1:]
 	for li, line := range rest {

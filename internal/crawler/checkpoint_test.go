@@ -147,7 +147,7 @@ func TestCheckpointFreshRunTruncatesStaleFile(t *testing.T) {
 	if _, err := CrawlOpts(context.Background(), eco, browser.Firefox88(), Options{Sites: eco.Sites[:1], CheckpointPath: path}); err != nil {
 		t.Fatal(err)
 	}
-	ckpt, err := OpenCheckpoint(path, eco, browser.Firefox88(), true)
+	ckpt, err := OpenCheckpoint(path, eco, browser.Firefox88(), true, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,7 @@ import (
 type Quarantine struct {
 	mu      sync.Mutex
 	dir     string
+	suffix  string // shard label baked into every path ("" = unsharded)
 	bundles []CrashBundle
 }
 
@@ -54,9 +55,24 @@ func NewQuarantine(dir string) (*Quarantine, error) {
 	return &Quarantine{dir: dir}, nil
 }
 
-// ManifestPath returns the quarantine's manifest file path.
+// NewQuarantineShard opens a quarantine scoped to one shard of a
+// sharded study. Every path it writes — the manifest and the per-site
+// bundles — carries a shard-unique suffix, so K concurrent shards can
+// share one -quarantine directory without colliding on the manifest or
+// interleaving appends within it.
+func NewQuarantineShard(dir string, shard, shards int) (*Quarantine, error) {
+	q, err := NewQuarantine(dir)
+	if err != nil {
+		return nil, err
+	}
+	q.suffix = fmt.Sprintf(".shard-%d-of-%d", shard, shards)
+	return q, nil
+}
+
+// ManifestPath returns the quarantine's manifest file path
+// (shard-unique under NewQuarantineShard).
 func (q *Quarantine) ManifestPath() string {
-	return filepath.Join(q.dir, "MANIFEST.jsonl")
+	return filepath.Join(q.dir, "MANIFEST"+q.suffix+".jsonl")
 }
 
 // Add records one crashed site: the bundle file is written whole
@@ -78,7 +94,7 @@ func (q *Quarantine) Add(b CrashBundle) {
 	if err != nil {
 		return
 	}
-	path := filepath.Join(q.dir, b.Domain+".json")
+	path := filepath.Join(q.dir, b.Domain+q.suffix+".json")
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
 		return

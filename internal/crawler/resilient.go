@@ -59,6 +59,13 @@ type Options struct {
 	// injections and the resilience machinery's accounting. A nil
 	// observer is free; telemetry never feeds back into the crawl.
 	Obs *obs.Run
+	// Shard/Shards scope this crawl to one failure domain of a sharded
+	// study: the run covers shard index Shard of Shards total. Shards
+	// == 0 is the unsharded default. The pair stamps the checkpoint
+	// header, so a shard's checkpoint can never be resumed by a
+	// different shard — or by an unsharded run — without an explicit
+	// error.
+	Shard, Shards int
 }
 
 // Validate rejects contradictory option combinations instead of
@@ -74,7 +81,25 @@ func (o Options) Validate() error {
 	if o.SiteTimeout < 0 {
 		return fmt.Errorf("crawler: negative SiteTimeout %v", o.SiteTimeout)
 	}
+	if o.Shards < 0 {
+		return fmt.Errorf("crawler: negative Shards %d", o.Shards)
+	}
+	if o.Shards == 0 && o.Shard != 0 {
+		return fmt.Errorf("crawler: Shard %d set without Shards", o.Shard)
+	}
+	if o.Shards > 0 && (o.Shard < 0 || o.Shard >= o.Shards) {
+		return fmt.Errorf("crawler: Shard %d out of range [0, %d)", o.Shard, o.Shards)
+	}
 	return nil
+}
+
+// ShardLabel renders the options' shard scope as the "i/K" label the
+// checkpoint header records; "" for unsharded runs.
+func (o Options) ShardLabel() string {
+	if o.Shards <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", o.Shard, o.Shards)
 }
 
 // ResumeSummary describes what a resumed run recovered from its

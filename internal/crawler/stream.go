@@ -85,7 +85,7 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 	var ckpt *Checkpoint
 	if opts.CheckpointPath != "" {
 		var err error
-		ckpt, err = OpenCheckpoint(opts.CheckpointPath, eco, profile, opts.Resume)
+		ckpt, err = OpenCheckpoint(opts.CheckpointPath, eco, profile, opts.Resume, opts.ShardLabel())
 		if err != nil {
 			return err
 		}

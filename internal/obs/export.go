@@ -64,6 +64,11 @@ type RunInfo struct {
 	CrawlWorkers  int    `json:"crawl_workers,omitempty"`
 	DetectWorkers int    `json:"detect_workers,omitempty"`
 	Streamed      bool   `json:"streamed,omitempty"`
+	// Shards is the shard count of a sharded study (zero when unsharded);
+	// Shard is the "i/K" label when this telemetry covers a single shard
+	// worker rather than a whole supervised study.
+	Shards int    `json:"shards,omitempty"`
+	Shard  string `json:"shard,omitempty"`
 }
 
 // Manifest folds the registry into the run summary the CLIs print and
@@ -85,6 +90,8 @@ type Manifest struct {
 	Resilience ResilienceManifest `json:"resilience"`
 	Checkpoint CheckpointManifest `json:"checkpoint"`
 	Pipeline   PipelineManifest   `json:"pipeline"`
+	// Sharding is present only on supervised sharded runs.
+	Sharding *ShardingManifest `json:"sharding,omitempty"`
 }
 
 // ResilienceManifest summarizes the retry/breaker/watchdog machinery.
@@ -104,6 +111,20 @@ type CheckpointManifest struct {
 	Appends      int64 `json:"appends"`
 	ResumedSites int64 `json:"resumed_sites"`
 	TornRecords  int64 `json:"torn_records"`
+}
+
+// ShardingManifest summarizes a supervised sharded run: how many shards
+// were planned, how the supervisor fought for them, and what the
+// verified merge folded.
+type ShardingManifest struct {
+	Planned         int64 `json:"planned"`
+	Completed       int64 `json:"completed"`
+	Missing         int64 `json:"missing"`
+	Runs            int64 `json:"runs"`
+	Restarts        int64 `json:"restarts"`
+	Stalls          int64 `json:"stalls"`
+	MergedSites     int64 `json:"merged_sites"`
+	DigestsVerified int64 `json:"digests_verified"`
 }
 
 // PipelineManifest summarizes the fused pipeline's throughput.
@@ -171,6 +192,34 @@ func (r *Run) Manifest() Manifest {
 			ReleasedCaptures: r.counter(MetricReleased),
 			CaptureHighWater: r.gauges[MetricCaptureHighWater],
 		},
+		Sharding: r.sharding(),
+	}
+}
+
+// sharding assembles the manifest's sharding block, or nil when the run
+// never touched the shard supervisor. Per-shard series (runs/restarts
+// by shard index) are folded into totals here; the labeled breakdowns
+// stay available in the raw counter export.
+func (r *Run) sharding() *ShardingManifest {
+	if r.info.Shards == 0 && r.counter(MetricShardsCompleted) == 0 && r.counter(MetricShardsMissing) == 0 {
+		return nil
+	}
+	sum := func(name string) int64 {
+		var total int64
+		for _, v := range r.labeled(name) {
+			total += v
+		}
+		return total
+	}
+	return &ShardingManifest{
+		Planned:         int64(r.info.Shards),
+		Completed:       r.counter(MetricShardsCompleted),
+		Missing:         r.counter(MetricShardsMissing),
+		Runs:            sum(MetricShardRuns),
+		Restarts:        sum(MetricShardRestarts),
+		Stalls:          sum(MetricShardStalls),
+		MergedSites:     r.counter(MetricShardMergedSites),
+		DigestsVerified: r.counter(MetricShardDigests),
 	}
 }
 

@@ -33,11 +33,15 @@ import (
 // Stage labels a trace span with the pipeline stage that produced it.
 type Stage string
 
-// The study's three pipeline stages.
+// The study's pipeline stages, plus the sharded runtime's supervisor
+// stages: one StageShard span per shard attempt and one StageMerge span
+// for the verified fold.
 const (
 	StageCrawl      Stage = "crawl"
 	StageDetect     Stage = "detect"
 	StageAccumulate Stage = "accumulate"
+	StageShard      Stage = "shard"
+	StageMerge      Stage = "merge"
 )
 
 // stageRank orders spans within one site for the trace export.
@@ -49,8 +53,12 @@ func stageRank(s Stage) int {
 		return 1
 	case StageAccumulate:
 		return 2
-	default:
+	case StageShard:
 		return 3
+	case StageMerge:
+		return 4
+	default:
+		return 5
 	}
 }
 
@@ -96,6 +104,15 @@ const (
 
 	// Pipeline memory bound (gauge; streamed runs only).
 	MetricCaptureHighWater = "pipeline_capture_highwater_sites"
+
+	// Sharded runtime (supervisor-side).
+	MetricShardRuns        = "shard_runs_total"         // worker attempts, by shard index
+	MetricShardRestarts    = "shard_restarts_total"     // supervisor restarts, by shard index
+	MetricShardStalls      = "shard_stalls_total"       // watchdog kills, by shard index
+	MetricShardsCompleted  = "shard_completed_total"    // shards that produced a verified result
+	MetricShardsMissing    = "shard_missing_total"      // shards dropped after the retry budget
+	MetricShardMergedSites = "shard_merged_sites_total" // sites folded by the verified merge
+	MetricShardDigests     = "shard_digests_verified_total"
 
 	// Per-site distributions.
 	HistSiteRecords   = "crawl_site_records"

@@ -62,6 +62,13 @@ type Options struct {
 	// Progress, when set, receives per-stage completion events. It is
 	// never called concurrently.
 	Progress func(Event)
+	// Sink, when set, receives every site's final output — crawl
+	// record (thinned unless KeepRecords), side effects, leaks and the
+	// reduced request list — in site order, after accumulation
+	// finishes. It is the shard runtime's extraction point: a shard
+	// worker collects SiteOuts to serialize per-site results for the
+	// verified merge. Never called concurrently.
+	Sink func(SiteOut)
 }
 
 // Validate rejects contradictory or nonsensical settings, delegating
@@ -92,6 +99,23 @@ type Event struct {
 	Site string
 	// Leaks is the cumulative leak count (detect events only).
 	Leaks int
+}
+
+// SiteOut is one site's complete pipeline output as delivered to
+// Options.Sink: the (possibly thinned) crawl result with its mail and
+// shield-block side effects, the detected leaks, the reduced request
+// list (leaky sites only), and the pre-release record count.
+type SiteOut struct {
+	// Result is the site's crawl output; Result.Index is its index in
+	// the run's site list.
+	Result crawler.SiteResult
+	// Leaks are the site's detected leaks, in detection order.
+	Leaks []core.Leak
+	// Requests is the reduced request list when the site leaked (the
+	// §7.2 evaluation's retained state); nil otherwise.
+	Requests []httpmodel.IndexedRequest
+	// Records is the site's captured request count before any release.
+	Records int
 }
 
 // Stats carries a finished run's counters.
@@ -275,6 +299,12 @@ func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, de
 	reqIx := httpmodel.NewRequestIndex()
 	leaksBySite := make([][]core.Leak, total)
 	results := make([]crawler.SiteResult, total)
+	var reqsBySite [][]httpmodel.IndexedRequest
+	var recordsBySite []int
+	if opts.Sink != nil {
+		reqsBySite = make([][]httpmodel.IndexedRequest, total)
+		recordsBySite = make([]int, total)
+	}
 	stats := Stats{}
 	totalRecords := 0
 	detected := 0
@@ -290,6 +320,10 @@ func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, de
 		}
 		if out.reqs != nil {
 			reqIx.AddReduced(out.res.Crawl.Domain, out.reqs)
+		}
+		if opts.Sink != nil {
+			reqsBySite[out.res.Index] = out.reqs
+			recordsBySite[out.res.Index] = out.records
 		}
 		if out.res.Crawl.Outcome == crawler.OutcomeSuccess {
 			acc.AddSites(1)
@@ -321,6 +355,19 @@ func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, de
 	for i := range results {
 		ds.Merge(results[i])
 	}
+	if opts.Sink != nil {
+		// Site order, like every other deterministic output — the sink
+		// sees the run exactly as the dataset records it, regardless of
+		// the order sites completed in.
+		for i := range results {
+			opts.Sink(SiteOut{
+				Result:   results[i],
+				Leaks:    leaksBySite[i],
+				Requests: reqsBySite[i],
+				Records:  recordsBySite[i],
+			})
+		}
+	}
 
 	stats.Sites = total
 	stats.Leaks = len(leaks)
@@ -330,8 +377,10 @@ func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, de
 	} else {
 		// Streamed runs export the memory bound. It is the registry's one
 		// scheduler-dependent value (a bound, not an exact replay) in
-		// parallel runs, so batch mode omits it entirely.
-		o.GaugeSet(obs.MetricCaptureHighWater, g.High())
+		// parallel runs, so batch mode omits it entirely. Ratcheted, not
+		// set: a sharded study's workers share one observer, and the
+		// study-wide bound is the worst shard's.
+		o.GaugeMax(obs.MetricCaptureHighWater, g.High())
 	}
 
 	return &Result{

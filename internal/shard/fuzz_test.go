@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"piileak/internal/crawler"
+)
+
+// fuzzResultBytes builds a small, fully-valid shard result file in
+// memory — the fuzz corpus' honest seed, which the mutator then tears,
+// truncates and corrupts.
+func fuzzResultBytes(f *testing.F) []byte {
+	f.Helper()
+	recs := []SiteRecord{
+		{Index: 0, Crawl: crawler.SiteCrawl{Domain: "a.example", Outcome: crawler.OutcomeSuccess}, Records: 3},
+		{Index: 2, Crawl: crawler.SiteCrawl{Domain: "c.example", Outcome: crawler.OutcomeUnreachable}},
+		{Index: 4, Crawl: crawler.SiteCrawl{Domain: "e.example", Outcome: crawler.OutcomeSuccess}, Records: 1},
+	}
+	m := Manifest{EcoSeed: 7, Browser: "Firefox 88.0", Shards: 2, Shard: 0, Universe: 5}
+	path := filepath.Join(f.TempDir(), "seed.jsonl")
+	if err := WriteResult(path, m, recs); err != nil {
+		f.Fatal(err)
+	}
+	r, err := ReadResult(path)
+	if err != nil {
+		f.Fatalf("seed corpus does not verify: %v", err)
+	}
+	if len(r.Records) != len(recs) {
+		f.Fatalf("seed corpus lost records: %d of %d", len(r.Records), len(recs))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzParseResult hardens the shard result reader: whatever bytes a
+// crashed or malicious worker leaves behind, parseResult returns
+// exactly one of (result, error) and never a partially-validated
+// Result. Valid outputs must satisfy every manifest invariant.
+func FuzzParseResult(f *testing.F) {
+	good := fuzzResultBytes(f)
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("\n"))
+	f.Add([]byte("{}\n"))
+	f.Add(good[:len(good)/2])                   // torn tail mid-record
+	f.Add(good[:bytes.IndexByte(good, '\n')/2]) // torn manifest line
+	f.Add(bytes.Replace(good, []byte(`"digest":"`), []byte(`"digest":"00`), 1))
+	if i := bytes.LastIndexByte(good[:len(good)-1], '\n'); i > 0 {
+		f.Add(good[:i+1]) // last site line dropped, digest stale
+	}
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := parseResult("fuzz", data)
+		if (res == nil) == (err == nil) {
+			t.Fatalf("parseResult: res=%v err=%v — exactly one must be nil", res, err)
+		}
+		if res == nil {
+			return
+		}
+		m := res.Manifest
+		if m.Schema != ResultSchema || m.Shards < 1 || m.Shard < 0 || m.Shard >= m.Shards {
+			t.Fatalf("accepted result with invalid manifest %+v", m)
+		}
+		if len(res.Records) != m.Sites {
+			t.Fatalf("accepted %d records against manifest count %d", len(res.Records), m.Sites)
+		}
+		prev := -1
+		for _, r := range res.Records {
+			if r.Index <= prev || r.Index >= m.Universe || r.Index%m.Shards != m.Shard {
+				t.Fatalf("accepted record index %d (prev %d, universe %d, shard %d/%d)",
+					r.Index, prev, m.Universe, m.Shard, m.Shards)
+			}
+			prev = r.Index
+		}
+	})
+}
+
+// FuzzParsePlan hardens the plan reader the same way: arbitrary bytes
+// yield exactly one of (plan, error), and any accepted plan is a
+// complete, self-consistent interleave.
+func FuzzParsePlan(f *testing.F) {
+	p := &Plan{Schema: PlanSchema, EcoSeed: 7, Shards: 2, Universe: 5}
+	p.Assignments = []Assignment{
+		{Shard: 0, Indexes: []int{0, 2, 4}, Domains: []string{"a.example", "c.example", "e.example"}},
+		{Shard: 1, Indexes: []int{1, 3}, Domains: []string{"b.example", "d.example"}},
+	}
+	good, err := p.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := parsePlan(good); err != nil {
+		f.Fatalf("seed corpus does not parse: %v", err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("{}"))
+	f.Add(good[:len(good)/2]) // torn tail
+	f.Add(bytes.Replace(good, []byte(`"universe": 5`), []byte(`"universe": 4`), 1))
+	f.Add(bytes.Replace(good, []byte("4"), []byte("3"), 1)) // interleave break
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := parsePlan(data)
+		if (p == nil) == (err == nil) {
+			t.Fatalf("parsePlan: p=%v err=%v — exactly one must be nil", p, err)
+		}
+		if p == nil {
+			return
+		}
+		if p.Schema != PlanSchema || p.Shards < 1 || len(p.Assignments) != p.Shards {
+			t.Fatalf("accepted plan with invalid shape %+v", p)
+		}
+		total := 0
+		for s, a := range p.Assignments {
+			if a.Shard != s || len(a.Domains) != len(a.Indexes) {
+				t.Fatalf("accepted inconsistent assignment %d: %+v", s, a)
+			}
+			for j, i := range a.Indexes {
+				if i != s+j*p.Shards || i >= p.Universe {
+					t.Fatalf("accepted broken interleave: shard %d pos %d index %d", s, j, i)
+				}
+			}
+			total += len(a.Indexes)
+		}
+		if total != p.Universe {
+			t.Fatalf("accepted plan covering %d of %d sites", total, p.Universe)
+		}
+	})
+}

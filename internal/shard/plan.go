@@ -1,0 +1,239 @@
+// Package shard is the sharded study runtime: a planner that
+// deterministically partitions the ranked site list into K independent
+// failure domains, a supervisor that runs each shard as an
+// independently-checkpointed worker (in-process or re-execed) and
+// restarts the ones that die or stall, and a verified merge that folds
+// the per-shard outputs back into one study result.
+//
+// The design leans on two properties the rest of the repo already
+// guarantees: fault injection is a pure function of (seed, host,
+// attempt) with no cross-site state, and every accumulated aggregate is
+// a set. Together they mean a site's crawl and detection output is
+// byte-identical whether it ran in shard 3 of 8 or in an unsharded
+// run — so merging per-site records back in global site order
+// reproduces the unsharded study's leak bytes and tables exactly, for
+// any K, with or without mid-run shard deaths.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"piileak/internal/site"
+	"piileak/internal/webgen"
+)
+
+// PlanSchema versions the plan manifest layout.
+const PlanSchema = 1
+
+// Plan is the byte-stable partition manifest: which global site index
+// landed in which shard, plus the run identity that makes a stale plan
+// detectable. Two calls to NewPlan with the same ecosystem and K
+// marshal to identical bytes.
+type Plan struct {
+	Schema    int    `json:"schema"`
+	EcoSeed   uint64 `json:"eco_seed"`
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// Shards is K; Universe is the full ranked site count.
+	Shards   int `json:"shards"`
+	Universe int `json:"universe"`
+	// Assignments holds one entry per shard, in shard order.
+	Assignments []Assignment `json:"assignments"`
+}
+
+// Assignment is one shard's slice of the universe: global site indexes
+// in ascending (rank) order, with the domains alongside so a plan can
+// be audited — and verified against an ecosystem — without re-deriving
+// the partition.
+type Assignment struct {
+	Shard   int      `json:"shard"`
+	Indexes []int    `json:"indexes"`
+	Domains []string `json:"domains"`
+}
+
+// NewPlan partitions the ecosystem's ranked site list into shards
+// rank-interleaved: global index i lands in shard i%K at position i/K,
+// so every shard spans the full rank distribution (head-heavy sites
+// are spread evenly, not concentrated in shard 0) and shard sizes
+// differ by at most one.
+func NewPlan(eco *webgen.Ecosystem, shards int) (*Plan, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: plan needs at least 1 shard, got %d", shards)
+	}
+	if len(eco.Sites) == 0 {
+		return nil, fmt.Errorf("shard: ecosystem has no sites to partition")
+	}
+	p := &Plan{
+		Schema:   PlanSchema,
+		EcoSeed:  eco.Config.Seed,
+		Shards:   shards,
+		Universe: len(eco.Sites),
+	}
+	if eco.Faults != nil {
+		p.FaultSeed = eco.Faults.Seed()
+	}
+	p.Assignments = make([]Assignment, shards)
+	for s := 0; s < shards; s++ {
+		p.Assignments[s].Shard = s
+	}
+	for i, st := range eco.Sites {
+		a := &p.Assignments[i%shards]
+		a.Indexes = append(a.Indexes, i)
+		a.Domains = append(a.Domains, st.Domain)
+	}
+	return p, nil
+}
+
+// Sites resolves one shard's assignment back to the ecosystem's site
+// pointers, in rank order — the slice a shard worker crawls.
+func (p *Plan) Sites(eco *webgen.Ecosystem, shard int) ([]*site.Site, error) {
+	if shard < 0 || shard >= len(p.Assignments) {
+		return nil, fmt.Errorf("shard: plan has no shard %d (shards=%d)", shard, p.Shards)
+	}
+	a := p.Assignments[shard]
+	out := make([]*site.Site, len(a.Indexes))
+	for j, i := range a.Indexes {
+		if i < 0 || i >= len(eco.Sites) {
+			return nil, fmt.Errorf("shard: plan index %d out of the ecosystem's %d sites", i, len(eco.Sites))
+		}
+		out[j] = eco.Sites[i]
+	}
+	return out, nil
+}
+
+// Verify checks the plan against an ecosystem: run identity, universe
+// size, and that every assignment holds exactly the interleaved
+// indexes with matching domains. A plan from a different seed — or a
+// hand-edited one — fails here instead of producing a silently wrong
+// merge.
+func (p *Plan) Verify(eco *webgen.Ecosystem) error {
+	if p.Schema != PlanSchema {
+		return fmt.Errorf("shard: plan schema %d, want %d", p.Schema, PlanSchema)
+	}
+	if p.EcoSeed != eco.Config.Seed {
+		return fmt.Errorf("shard: plan eco seed %d, ecosystem has %d", p.EcoSeed, eco.Config.Seed)
+	}
+	var faultSeed uint64
+	if eco.Faults != nil {
+		faultSeed = eco.Faults.Seed()
+	}
+	if p.FaultSeed != faultSeed {
+		return fmt.Errorf("shard: plan fault seed %d, ecosystem has %d", p.FaultSeed, faultSeed)
+	}
+	if p.Universe != len(eco.Sites) {
+		return fmt.Errorf("shard: plan universe %d, ecosystem has %d sites", p.Universe, len(eco.Sites))
+	}
+	if p.Shards < 1 || len(p.Assignments) != p.Shards {
+		return fmt.Errorf("shard: plan has %d assignments for %d shards", len(p.Assignments), p.Shards)
+	}
+	seen := 0
+	for s, a := range p.Assignments {
+		if a.Shard != s {
+			return fmt.Errorf("shard: assignment %d labeled shard %d", s, a.Shard)
+		}
+		if len(a.Domains) != len(a.Indexes) {
+			return fmt.Errorf("shard %d: %d domains for %d indexes", s, len(a.Domains), len(a.Indexes))
+		}
+		for j, i := range a.Indexes {
+			if i < 0 || i >= len(eco.Sites) {
+				return fmt.Errorf("shard %d: index %d out of range", s, i)
+			}
+			if i%p.Shards != s || i/p.Shards != j {
+				return fmt.Errorf("shard %d: index %d at position %d breaks the interleave", s, i, j)
+			}
+			if eco.Sites[i].Domain != a.Domains[j] {
+				return fmt.Errorf("shard %d: index %d is %s in the plan but %s in the ecosystem", s, i, a.Domains[j], eco.Sites[i].Domain)
+			}
+			seen++
+		}
+	}
+	if seen != p.Universe {
+		return fmt.Errorf("shard: plan assigns %d sites of %d", seen, p.Universe)
+	}
+	return nil
+}
+
+// Marshal renders the plan as indented JSON. Struct field order and
+// in-order assignment slices make the bytes stable: same ecosystem and
+// K, same bytes.
+func (p *Plan) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(p, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("shard: marshal plan: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// PlanPath is the plan manifest's location under a shard directory.
+func PlanPath(dir string) string { return filepath.Join(dir, "plan.json") }
+
+// WritePlan persists the plan atomically (temp + rename), so a reader
+// never observes a torn manifest.
+func WritePlan(dir string, p *Plan) error {
+	data, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	return atomicWrite(PlanPath(dir), data)
+}
+
+// ReadPlan loads and structurally validates a plan manifest. Exactly
+// one of the results is nil.
+func ReadPlan(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: read plan: %w", err)
+	}
+	return parsePlan(data)
+}
+
+// parsePlan decodes plan bytes and checks internal consistency — the
+// part of Verify that needs no ecosystem, so corrupt or truncated
+// manifests are rejected at read time.
+func parsePlan(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("shard: parse plan: %w", err)
+	}
+	if p.Schema != PlanSchema {
+		return nil, fmt.Errorf("shard: plan schema %d, want %d", p.Schema, PlanSchema)
+	}
+	if p.Shards < 1 || len(p.Assignments) != p.Shards {
+		return nil, fmt.Errorf("shard: plan has %d assignments for %d shards", len(p.Assignments), p.Shards)
+	}
+	seen := 0
+	for s, a := range p.Assignments {
+		if a.Shard != s {
+			return nil, fmt.Errorf("shard: assignment %d labeled shard %d", s, a.Shard)
+		}
+		if len(a.Domains) != len(a.Indexes) {
+			return nil, fmt.Errorf("shard %d: %d domains for %d indexes", s, len(a.Domains), len(a.Indexes))
+		}
+		for j, i := range a.Indexes {
+			if i < 0 || i >= p.Universe || i%p.Shards != s || i/p.Shards != j {
+				return nil, fmt.Errorf("shard %d: index %d at position %d breaks the interleave", s, i, j)
+			}
+			seen++
+		}
+	}
+	if seen != p.Universe {
+		return nil, fmt.Errorf("shard: plan assigns %d sites of %d", seen, p.Universe)
+	}
+	return &p, nil
+}
+
+// atomicWrite writes data whole under a temp name and renames it into
+// place: readers see the old file or the new one, never a prefix.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("shard: write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("shard: write %s: %w", path, err)
+	}
+	return nil
+}

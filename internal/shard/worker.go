@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"piileak/internal/browser"
+	"piileak/internal/crawler"
+	"piileak/internal/pipeline"
+	"piileak/internal/site"
+	"piileak/internal/webgen"
+)
+
+// WorkerConfig scopes one shard worker's run.
+type WorkerConfig struct {
+	// Shard/Shards are the worker's coordinates: it crawls global site
+	// indexes congruent to Shard mod Shards, in rank order.
+	Shard, Shards int
+	// Dir is the shard directory holding the worker's checkpoint and
+	// result file.
+	Dir string
+	// Workers/DetectWorkers/Buffer are the per-shard pipeline knobs,
+	// passed through to pipeline.Options.
+	Workers, DetectWorkers, Buffer int
+	// Options carries the remaining crawl knobs — faults, policy, site
+	// timeout, observer. Sites, CheckpointPath, Resume, Shard/Shards and
+	// Quarantine are owned by the worker and overwritten.
+	Options crawler.Options
+	// QuarantineDir, when set, collects crash bundles under shard-unique
+	// paths so K workers can share the directory.
+	QuarantineDir string
+	// Checkpoint overrides the shard's derived checkpoint path; "" uses
+	// CheckpointPath(Dir, Shard, Shards). The header's shard label is
+	// stamped either way, so a foreign checkpoint is refused, not
+	// silently mixed in.
+	Checkpoint string
+}
+
+// shardIndexes returns the global site indexes shard s of K owns, in
+// rank order: s, s+K, s+2K, ...
+func shardIndexes(universe, s, k int) []int {
+	var out []int
+	for i := s; i < universe; i += k {
+		out = append(out, i)
+	}
+	return out
+}
+
+// sitesFor resolves global indexes to the ecosystem's site pointers.
+func sitesFor(eco *webgen.Ecosystem, indexes []int) []*site.Site {
+	out := make([]*site.Site, len(indexes))
+	for j, i := range indexes {
+		out[j] = eco.Sites[i]
+	}
+	return out
+}
+
+// RunWorker executes one shard end to end: crawl + detect + accumulate
+// over the shard's interleaved site slice, checkpointed so a restart
+// resumes instead of recrawling, finishing by atomically writing the
+// shard's digest-bearing result file. It returns the result path.
+//
+// Workers always run streamed (records released after detection): the
+// sharded study's contract covers leak bytes and table numbers, and
+// holding K shards' full captures would defeat the pipeline's memory
+// bound. Resume is unconditional — a missing checkpoint is a fresh
+// start, and a supervisor restart picks up exactly where the dead
+// attempt's checkpoint left off. The supervisor, not the worker, owns
+// clearing stale state for non-resume runs.
+func RunWorker(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, det pipeline.Detector, cfg WorkerConfig) (string, error) {
+	if cfg.Shards < 1 || cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+		return "", fmt.Errorf("shard: worker coordinates %d/%d are invalid", cfg.Shard, cfg.Shards)
+	}
+	if cfg.Dir == "" {
+		return "", fmt.Errorf("shard: worker needs a shard directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return "", fmt.Errorf("shard: create dir: %w", err)
+	}
+	slice := shardIndexes(len(eco.Sites), cfg.Shard, cfg.Shards)
+	if len(slice) == 0 {
+		return "", fmt.Errorf("shard: shard %d of %d is empty (universe %d)", cfg.Shard, cfg.Shards, len(eco.Sites))
+	}
+
+	opts := pipeline.Options{
+		DetectWorkers: cfg.DetectWorkers,
+		Buffer:        cfg.Buffer,
+	}
+	opts.Options = cfg.Options
+	opts.Workers = cfg.Workers
+	opts.Shard, opts.Shards = cfg.Shard, cfg.Shards
+	opts.Sites = sitesFor(eco, slice)
+	opts.CheckpointPath = cfg.Checkpoint
+	if opts.CheckpointPath == "" {
+		opts.CheckpointPath = CheckpointPath(cfg.Dir, cfg.Shard, cfg.Shards)
+	}
+	opts.Resume = true
+	opts.KeepRecords = false
+
+	// Collect per-site outputs — the sink sees them in local site order,
+	// and local position j maps back to global index Shard + j*Shards.
+	recs := make([]SiteRecord, 0, len(slice))
+	opts.Sink = func(out pipeline.SiteOut) {
+		recs = append(recs, SiteRecord{
+			Index:   cfg.Shard + out.Result.Index*cfg.Shards,
+			Crawl:   out.Result.Crawl,
+			Mail:    out.Result.Mail,
+			Blocked: out.Result.Blocked,
+			Records: out.Records,
+			Leaks:   out.Leaks,
+			Reqs:    out.Requests,
+		})
+	}
+
+	if cfg.QuarantineDir != "" {
+		q, err := crawler.NewQuarantineShard(cfg.QuarantineDir, cfg.Shard, cfg.Shards)
+		if err != nil {
+			return "", err
+		}
+		opts.Quarantine = q
+	}
+
+	if _, err := pipeline.Run(ctx, eco, profile, det, opts); err != nil {
+		return "", err
+	}
+
+	m := Manifest{
+		EcoSeed:  eco.Config.Seed,
+		Browser:  profile.Name + " " + profile.Version,
+		Shards:   cfg.Shards,
+		Shard:    cfg.Shard,
+		Universe: len(eco.Sites),
+	}
+	if inj := cfg.Options.Faults; inj != nil {
+		m.FaultSeed = inj.Seed()
+	} else if eco.Faults != nil {
+		m.FaultSeed = eco.Faults.Seed()
+	}
+	path := ResultPath(cfg.Dir, cfg.Shard, cfg.Shards)
+	if err := WriteResult(path, m, recs); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -40,6 +40,7 @@ import (
 	"piileak/internal/pipeline"
 	"piileak/internal/policy"
 	"piileak/internal/resilience"
+	"piileak/internal/shard"
 	"piileak/internal/site"
 	"piileak/internal/tracking"
 	"piileak/internal/webgen"
@@ -258,6 +259,47 @@ func (s *Study) Run(ctx context.Context, options ...RunOption) error {
 	}
 	rc.opts.KeepRecords = !rc.stream
 	return s.runPipeline(ctx, rc.opts)
+}
+
+// RunSharded executes the study as a supervised sharded run: the site
+// universe is partitioned into opts.Shards rank-interleaved failure
+// domains, each crawled by an independently-checkpointed worker under
+// restart supervision, and the per-shard outputs are digest-verified
+// and merged back into the study. With every shard completing, Leaks,
+// Analysis and every table are byte-identical to an unsharded streamed
+// run; when a shard exhausts its retry budget the study holds the
+// partial merge and the returned report lists exactly what is missing
+// (Report.Partial, Report.Missing). The study is always marked
+// Streamed — shard workers release captures after detection.
+func (s *Study) RunSharded(ctx context.Context, opts shard.Options) (*shard.Report, error) {
+	if o := opts.Obs; o != nil {
+		info := obs.RunInfo{
+			EcoSeed:       s.Eco.Config.Seed,
+			Browser:       s.Config.Browser.Name + " " + s.Config.Browser.Version,
+			Sites:         len(s.Eco.Sites),
+			CrawlWorkers:  opts.Workers,
+			DetectWorkers: opts.DetectWorkers,
+			Streamed:      true,
+			Shards:        opts.Shards,
+		}
+		if s.Eco.Faults != nil {
+			info.FaultSeed = s.Eco.Faults.Seed()
+		}
+		if opts.Crawl.Faults != nil {
+			info.FaultSeed = opts.Crawl.Faults.Seed()
+		}
+		o.SetInfo(info)
+	}
+	res, report, err := shard.Supervise(ctx, s.Eco, s.Config.Browser, s.Detector, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.Result = res
+	s.Dataset = res.Dataset
+	s.Leaks = res.Leaks
+	s.Analysis = res.Analysis
+	s.Streamed = true
+	return report, nil
 }
 
 // RunContext is Run without options.
