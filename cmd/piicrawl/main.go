@@ -226,7 +226,7 @@ func workerRun(ctx context.Context, study *piileak.Study, common *cliflags.Commo
 		Shards:        shardN,
 		Dir:           common.ShardDir,
 		Workers:       common.Workers,
-		DetectWorkers: common.Workers,
+		DetectWorkers: common.EffectiveDetectWorkers(),
 		Options:       shardCrawlerOptions(common, rt),
 		QuarantineDir: common.QuarantineDir,
 		Checkpoint:    common.Checkpoint,
@@ -256,7 +256,7 @@ func superviseRun(ctx context.Context, study *piileak.Study, common *cliflags.Co
 		Shards:        common.Shards,
 		Dir:           common.ShardDir,
 		Workers:       common.Workers,
-		DetectWorkers: common.Workers,
+		DetectWorkers: common.EffectiveDetectWorkers(),
 		Crawl:         shardCrawlerOptions(common, rt),
 		QuarantineDir: common.QuarantineDir,
 		MaxRestarts:   common.MaxRestarts,

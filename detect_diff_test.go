@@ -1,0 +1,93 @@
+package piileak
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"piileak/internal/core"
+	"piileak/internal/obs"
+	"piileak/internal/resilience"
+	"piileak/internal/shard"
+)
+
+// TestEngineMatchesLegacyDetectorAcrossModes anchors the two-phase
+// detection engine to the single-phase core.Detector at the study level:
+// for several seeds, the leaks a full run produces through the Engine
+// (batch, streamed-parallel, and sharded) are byte-identical to
+// re-detecting the batch run's dataset with a freshly built legacy
+// detector over the same candidate set and CNAME zone. This is the
+// refactor's ground truth — if the Engine's prefilter, memoization, or
+// channel automata ever drop or reorder a leak, this diff catches it
+// regardless of which runtime mode surfaced it.
+func TestEngineMatchesLegacyDetectorAcrossModes(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []uint64{11, 37, 53} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			batch, err := NewStudy(SmallConfig(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := batch.Run(ctx); err != nil {
+				t.Fatal(err)
+			}
+
+			// The legacy anchor: one Detector, the old single-phase scan,
+			// over the exact dataset the batch run crawled.
+			legacy := core.NewDetector(batch.Candidates, batch.Engine.CNAME())
+			var want []core.Leak
+			for _, c := range batch.Dataset.Successes() {
+				want = append(want, legacy.DetectSite(c.Domain, c.Records)...)
+			}
+			if len(want) == 0 {
+				t.Fatal("legacy detector found no leaks; differential is vacuous")
+			}
+			if len(batch.Leaks) != len(want) || !reflect.DeepEqual(want, batch.Leaks) {
+				t.Fatalf("batch engine output diverges from legacy detector: %d vs %d leaks",
+					len(batch.Leaks), len(want))
+			}
+			ref := leaksJSON(t, batch)
+
+			// Streamed-parallel: per-worker scanners over the shared engine.
+			par, err := NewStudy(SmallConfig(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := par.Run(ctx, WithStream(), WithWorkers(4, 4), WithObserver(obs.NewRun(nil))); err != nil {
+				t.Fatal(err)
+			}
+			if got := leaksJSON(t, par); !bytes.Equal(ref, got) {
+				t.Errorf("streamed-parallel leak bytes diverge from legacy-anchored batch (%d vs %d bytes)",
+					len(got), len(ref))
+			}
+
+			// Sharded: each shard builds its own engine from the same
+			// config; the merged output must still match the anchor.
+			sh, err := NewStudy(SmallConfig(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := sh.RunSharded(ctx, shard.Options{
+				Shards:        2,
+				Dir:           t.TempDir(),
+				Workers:       2,
+				DetectWorkers: 2,
+				Clock:         resilience.NewVirtualClock(),
+				Obs:           obs.NewRun(nil),
+				Fresh:         true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Partial {
+				t.Fatalf("sharded run degraded: %+v", rep)
+			}
+			if got := leaksJSON(t, sh); !bytes.Equal(ref, got) {
+				t.Errorf("sharded leak bytes diverge from legacy-anchored batch (%d vs %d bytes)",
+					len(got), len(ref))
+			}
+		})
+	}
+}

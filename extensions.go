@@ -7,6 +7,7 @@ import (
 	"piileak/internal/core"
 	"piileak/internal/countermeasure"
 	"piileak/internal/crawler"
+	"piileak/internal/detect"
 	"piileak/internal/httpmodel"
 	"piileak/internal/pii"
 	"piileak/internal/report"
@@ -46,14 +47,17 @@ func runA5(s *Study) (string, error) {
 	if err := s.requireCaptures("A5"); err != nil {
 		return "", err
 	}
-	short, err := pii.BuildCandidates(s.Eco.Persona, pii.CandidateConfig{
-		MaxDepth:    2,
-		MinTokenLen: 4,
+	eng, err := detect.NewEngine(s.Eco.Persona, s.Detector.CNAME, detect.Config{
+		Candidates: pii.CandidateConfig{
+			MaxDepth:    2,
+			MinTokenLen: 4,
+		},
 	})
 	if err != nil {
 		return "", err
 	}
-	det := core.NewDetector(short, s.Detector.CNAME)
+	short := eng.Candidates()
+	det := eng.NewScanner()
 
 	baselineKeys := map[string]bool{}
 	for i := range s.Leaks {
@@ -109,9 +113,10 @@ func runX4(s *Study) (string, error) {
 	counts := auto.FunnelCounts()
 
 	var autoLeaks []core.Leak
+	sc := s.Engine.NewScanner()
 	for i := range auto.Crawls {
 		c := &auto.Crawls[i]
-		autoLeaks = append(autoLeaks, s.Detector.DetectSite(c.Domain, c.Records)...)
+		autoLeaks = append(autoLeaks, sc.DetectSite(c.Domain, c.Records)...)
 	}
 	autoAnalysis := core.Analyze(autoLeaks, len(auto.Successes()))
 	autoTrackers := tracking.Classify(autoLeaks)
@@ -183,17 +188,18 @@ func runX1(s *Study) (string, error) {
 	if err := s.mustRun(); err != nil {
 		return "", err
 	}
-	detect := func(profile browser.Profile) []core.Leak {
+	detectUnder := func(profile browser.Profile) []core.Leak {
 		ds := crawler.CrawlSenders(s.Eco, profile)
 		var leaks []core.Leak
+		sc := s.Engine.NewScanner()
 		for _, c := range ds.Crawls {
-			leaks = append(leaks, s.Detector.DetectSite(c.Domain, c.Records)...)
+			leaks = append(leaks, sc.DetectSite(c.Domain, c.Records)...)
 		}
 		return leaks
 	}
 	links := tracking.CrossContext([]tracking.ContextLeaks{
-		{Context: "laptop-firefox", Leaks: detect(browser.Firefox88())},
-		{Context: "phone-chrome", Leaks: detect(browser.Chrome93())},
+		{Context: "laptop-firefox", Leaks: detectUnder(browser.Firefox88())},
+		{Context: "phone-chrome", Leaks: detectUnder(browser.Chrome93())},
 	})
 	linkers := tracking.LinkingReceivers(links)
 	linkerSet := map[string]bool{}
@@ -251,8 +257,9 @@ func runX2(s *Study) (string, error) {
 	ds2 := crawler.Crawl(eco2, s.Config.Browser)
 	var merged []core.Leak
 	merged = append(merged, s.Leaks...)
+	sc := s.Engine.NewScanner()
 	for _, c := range ds2.Successes() {
-		merged = append(merged, s.Detector.DetectSite(c.Domain, c.Records)...)
+		merged = append(merged, sc.DetectSite(c.Domain, c.Records)...)
 	}
 	after := tracking.Classify(merged)
 

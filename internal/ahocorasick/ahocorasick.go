@@ -190,17 +190,78 @@ func (m *Matcher) FindUnique(text []byte) []int {
 	return found
 }
 
-// Contains reports whether any pattern occurs in text.
-func (m *Matcher) Contains(text []byte) bool {
+// Scratch is reusable per-goroutine dedup state for FindUniqueInto: a
+// generation-stamped array sized to the automaton's pattern count, so
+// clearing between scans is a counter bump, not an allocation. The zero
+// value is ready to use; a Scratch must not be shared between
+// concurrent scans.
+type Scratch struct {
+	stamp []uint32
+	gen   uint32
+}
+
+// text abstracts the two scannable representations so the scan loops
+// are written once; indexing a string yields bytes without conversion.
+type text interface{ ~string | ~[]byte }
+
+// findUniqueInto is the allocation-free FindUnique core, generic over
+// string and []byte inputs.
+func findUniqueInto[T text](m *Matcher, data T, sc *Scratch, dst []int) []int {
+	if len(sc.stamp) < m.patterns {
+		sc.stamp = make([]uint32, m.patterns)
+		sc.gen = 0
+	}
+	sc.gen++
+	if sc.gen == 0 { // wrapped: stamps from 2^32 scans ago could alias
+		clear(sc.stamp)
+		sc.gen = 1
+	}
 	s := int32(0)
-	for _, b := range text {
-		s = m.step(s, b)
+	for i := 0; i < len(data); i++ {
+		s = m.step(s, data[i])
+		for _, p := range m.nodes[s].out {
+			if sc.stamp[p] != sc.gen {
+				sc.stamp[p] = sc.gen
+				dst = append(dst, int(p))
+			}
+		}
+	}
+	return dst
+}
+
+// FindUniqueInto appends the distinct pattern indices occurring in text
+// to dst, in first-match order, reusing sc for dedup state. It returns
+// the extended slice and allocates only when dst's capacity is
+// exceeded (or on sc's first use). The result order and content match
+// FindUnique exactly.
+func (m *Matcher) FindUniqueInto(data []byte, sc *Scratch, dst []int) []int {
+	return findUniqueInto(m, data, sc, dst)
+}
+
+// FindUniqueStringInto is FindUniqueInto for string input, avoiding the
+// []byte conversion copy.
+func (m *Matcher) FindUniqueStringInto(data string, sc *Scratch, dst []int) []int {
+	return findUniqueInto(m, data, sc, dst)
+}
+
+// contains is the shared Contains core, generic over string and []byte.
+func contains[T text](m *Matcher, data T) bool {
+	s := int32(0)
+	for i := 0; i < len(data); i++ {
+		s = m.step(s, data[i])
 		if len(m.nodes[s].out) > 0 {
 			return true
 		}
 	}
 	return false
 }
+
+// Contains reports whether any pattern occurs in text.
+func (m *Matcher) Contains(text []byte) bool { return contains(m, text) }
+
+// ContainsString is Contains for string input, avoiding the []byte
+// conversion copy. It allocates nothing.
+func (m *Matcher) ContainsString(s string) bool { return contains(m, s) }
 
 // PatternLen returns the length of pattern i, so callers can recover the
 // start offset of a Match (End - PatternLen).

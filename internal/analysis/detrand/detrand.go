@@ -28,6 +28,7 @@ var Analyzer = &analysis.Analyzer{
 // maporder analyzer, which applies everywhere).
 var DeterministicPackages = map[string]bool{
 	"piileak/internal/core":     true,
+	"piileak/internal/detect":   true,
 	"piileak/internal/pipeline": true,
 	"piileak/internal/tracking": true,
 	"piileak/internal/crawler":  true,

@@ -48,6 +48,11 @@ type Common struct {
 	// Workers parallelizes the crawl (and, streamed, detection); 0 is
 	// serial.
 	Workers int
+	// DetectWorkers overrides the detection stage's parallelism; 0
+	// follows Workers. Detection scans through per-worker Scanners over
+	// one shared engine, so extra detect workers cost scratch buffers,
+	// not candidate-set compiles.
+	DetectWorkers int
 	// Stream fuses crawl+detect and releases captures after detection.
 	Stream bool
 
@@ -103,6 +108,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.BoolVar(&c.Small, "small", false, "use the scaled-down ecosystem")
 	fs.StringVar(&c.Browser, "browser", "firefox", "collection browser: firefox, chrome, opera, safari, firefox-etp, brave")
 	fs.IntVar(&c.Workers, "workers", 0, "parallel crawl workers (0 = serial)")
+	fs.IntVar(&c.DetectWorkers, "detect-workers", 0, "parallel detection workers (0 = follow -workers)")
 	fs.BoolVar(&c.Stream, "stream", false, "fuse crawl+detect: stream captures through detection, release records after scanning")
 	fs.Float64Var(&c.Faults, "faults", 0, "fraction of hosts made faulty (0 disables fault injection)")
 	fs.Uint64Var(&c.FaultSeed, "fault-seed", 0, "fault-injection seed (default: the ecosystem seed)")
@@ -130,6 +136,9 @@ func Register(fs *flag.FlagSet) *Common {
 func (c *Common) Validate() error {
 	if c.Faults < 0 || c.Faults > 1 {
 		return fmt.Errorf("-faults %v out of range [0, 1]", c.Faults)
+	}
+	if c.DetectWorkers < 0 {
+		return fmt.Errorf("-detect-workers %d is negative", c.DetectWorkers)
 	}
 	// Sharded runs keep their checkpoints under -shard-dir, so -resume
 	// stands alone there; everywhere else it needs -checkpoint.
@@ -277,6 +286,9 @@ func (c *Common) ShardWorkerArgs(shard int) []string {
 	if c.Workers != 0 {
 		args = append(args, "-workers", strconv.Itoa(c.Workers))
 	}
+	if c.DetectWorkers != 0 {
+		args = append(args, "-detect-workers", strconv.Itoa(c.DetectWorkers))
+	}
 	if c.Faults > 0 {
 		args = append(args, "-faults", strconv.FormatFloat(c.Faults, 'g', -1, 64))
 	}
@@ -381,6 +393,9 @@ func (c *Common) RunOptions(rt *Runtime, prog string, progress func(pipeline.Eve
 	if c.Stream {
 		opts = append(opts, piileak.WithStream())
 	}
+	if c.DetectWorkers > 0 {
+		opts = append(opts, piileak.WithWorkers(c.Workers, c.DetectWorkers))
+	}
 	if c.SiteTimeout > 0 {
 		opts = append(opts, piileak.WithSiteTimeout(c.SiteTimeout))
 	}
@@ -406,6 +421,15 @@ func (c *Common) RunOptions(rt *Runtime, prog string, progress func(pipeline.Eve
 		opts = append(opts, piileak.WithProgress(progress))
 	}
 	return opts
+}
+
+// EffectiveDetectWorkers resolves the detection stage's parallelism:
+// the -detect-workers value when given, else the crawl worker count.
+func (c *Common) EffectiveDetectWorkers() int {
+	if c.DetectWorkers > 0 {
+		return c.DetectWorkers
+	}
+	return c.Workers
 }
 
 // CrawlerOptions assembles the raw crawler options for tools that run

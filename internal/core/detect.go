@@ -59,26 +59,34 @@ func NewDetector(candidates *pii.CandidateSet, cname *dnssim.Classifier) *Detect
 	return &Detector{Candidates: candidates, PSL: psl.Default(), CNAME: cname}
 }
 
-// receiverOf classifies a request host against the visited site,
-// returning the receiving third party ("" when first-party).
-func (d *Detector) receiverOf(siteDomain, host string) (receiver string, cloaked bool) {
+// ReceiverOf classifies a request host against the visited site,
+// returning the receiving third party ("" when first-party). It is the
+// single receiver-classification implementation shared by the legacy
+// Detector and the two-phase detect.Engine, so the two paths cannot
+// drift.
+func ReceiverOf(list *psl.List, cname *dnssim.Classifier, siteDomain, host string) (receiver string, cloaked bool) {
 	if host == "" {
 		return "", false
 	}
-	if d.PSL.IsThirdParty(siteDomain, host) {
-		e, err := d.PSL.ETLDPlusOne(host)
+	if list.IsThirdParty(siteDomain, host) {
+		e, err := list.ETLDPlusOne(host)
 		if err != nil {
 			e = psl.Normalize(host)
 		}
 		return e, false
 	}
 	// Nominally first-party: check for CNAME cloaking.
-	if d.CNAME != nil {
-		if tracker, ok := d.CNAME.Uncloak(host); ok {
+	if cname != nil {
+		if tracker, ok := cname.Uncloak(host); ok {
 			return tracker, true
 		}
 	}
 	return "", false
+}
+
+// receiverOf classifies a request host against the visited site.
+func (d *Detector) receiverOf(siteDomain, host string) (receiver string, cloaked bool) {
+	return ReceiverOf(d.PSL, d.CNAME, siteDomain, host)
 }
 
 // DetectRecord returns the leaks in one captured request. Matches are

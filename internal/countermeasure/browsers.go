@@ -8,10 +8,9 @@ import (
 	"sort"
 
 	"piileak/internal/browser"
-	"piileak/internal/core"
 	"piileak/internal/crawler"
+	"piileak/internal/detect"
 	"piileak/internal/dnssim"
-	"piileak/internal/pii"
 	"piileak/internal/webgen"
 )
 
@@ -48,11 +47,12 @@ func Profiles(eco *webgen.Ecosystem) []browser.Profile {
 
 // EvaluateBrowsers re-crawls the sender sites under the baseline and
 // each profile, runs detection, and reports surviving leakage. The
-// detector is rebuilt per run from the ecosystem persona (depth-2
-// candidates, matching the main study).
+// detection engine comes from the shared build cache (depth-2
+// candidates, matching the main study), so repeated evaluations — and
+// evaluations alongside a study of the same persona — compile the
+// candidate set once per process.
 func EvaluateBrowsers(eco *webgen.Ecosystem, baseline browser.Profile, profiles []browser.Profile) []BrowserResult {
-	cs := pii.MustBuildCandidates(eco.Persona, pii.CandidateConfig{MaxDepth: 2})
-	det := core.NewDetector(cs, dnssim.NewClassifier(eco.Zone))
+	det := detect.MustNewEngine(eco.Persona, dnssim.NewClassifier(eco.Zone), detect.Config{})
 
 	run := func(p browser.Profile) (senders, receivers map[string]bool, failures int) {
 		ds := crawler.CrawlSenders(eco, p)

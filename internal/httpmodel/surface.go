@@ -41,7 +41,16 @@ type Surface struct {
 // or hide in unparsed formats; named surfaces attribute a token to the
 // identifier parameter that carries it.
 func Surfaces(r *Request) []Surface {
-	var out []Surface
+	return SurfacesInto(r, nil)
+}
+
+// SurfacesInto is Surfaces appending into buf, so steady-state callers
+// reuse one backing array across records instead of reallocating the
+// slice per request. The request URL is parsed exactly once, feeding
+// both the whole-region query/path surfaces and the named parameter
+// surfaces. Surface order and content are identical to Surfaces.
+func SurfacesInto(r *Request, buf []Surface) []Surface {
+	out := buf
 
 	if ref := r.Referer(); ref != "" {
 		out = append(out, Surface{Kind: SurfaceReferer, Data: []byte(ref)})
@@ -60,9 +69,9 @@ func Surfaces(r *Request) []Surface {
 		if p := u.Path; p != "" && p != "/" {
 			out = append(out, Surface{Kind: SurfaceURI, Data: []byte(p)})
 		}
-	}
-	for _, p := range r.QueryParams() {
-		out = append(out, Surface{Kind: SurfaceURI, Name: p.Key, Data: []byte(p.Value)})
+		for _, p := range sortedParams(u.Query()) {
+			out = append(out, Surface{Kind: SurfaceURI, Name: p.Key, Data: []byte(p.Value)})
+		}
 	}
 
 	for _, c := range r.Cookies {

@@ -2,6 +2,9 @@ package pii
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
 
 	"piileak/internal/ahocorasick"
 )
@@ -42,6 +45,17 @@ func (c CandidateConfig) withDefaults() CandidateConfig {
 	return c
 }
 
+// Key returns a canonical fingerprint of the effective configuration
+// (after defaulting), so configurations that resolve identically — e.g.
+// the zero MaxDepth and an explicit 2 — share one cache slot in the
+// detection-engine build cache.
+func (c CandidateConfig) Key() string {
+	c = c.withDefaults()
+	return "d=" + strconv.Itoa(c.MaxDepth) +
+		"|min=" + strconv.Itoa(c.MinTokenLen) +
+		"|t=" + strings.Join(c.Transforms, ",")
+}
+
 // Token is one candidate string the detector searches for.
 type Token struct {
 	// Value is the exact byte string to match.
@@ -65,11 +79,22 @@ type CandidateSet struct {
 	matcher *ahocorasick.Matcher
 }
 
+// candidateBuilds counts BuildCandidates calls process-wide; the
+// detection-engine build cache's tests assert it stays flat on cache
+// hits.
+var candidateBuilds atomic.Uint64
+
+// CandidateBuilds returns the number of BuildCandidates calls so far in
+// this process. It exists so tests can pin that cached code paths stop
+// rebuilding candidate sets.
+func CandidateBuilds() uint64 { return candidateBuilds.Load() }
+
 // BuildCandidates generates and compiles the candidate set for a
 // persona. Chains are explored breadth first and deduplicated by value,
 // so a value reachable through several chains is attributed to its
 // shortest chain (e.g. rot13∘rot13 collapses into plaintext).
 func BuildCandidates(p Persona, cfg CandidateConfig) (*CandidateSet, error) {
+	candidateBuilds.Add(1)
 	cfg = cfg.withDefaults()
 	transforms := make([]Transform, 0, len(cfg.Transforms))
 	for _, name := range cfg.Transforms {
@@ -152,6 +177,33 @@ func (cs *CandidateSet) FindIn(data []byte) []Token {
 func (cs *CandidateSet) Contains(data []byte) bool {
 	return cs.matcher.Contains(data)
 }
+
+// ContainsString is Contains for string input; it allocates nothing.
+func (cs *CandidateSet) ContainsString(s string) bool {
+	return cs.matcher.ContainsString(s)
+}
+
+// Scratch is the reusable dedup state FindInto needs; the zero value is
+// ready. One Scratch must not be shared between concurrent scans.
+type Scratch = ahocorasick.Scratch
+
+// FindInto appends the indices of the distinct tokens occurring in data
+// to dst, in first-match order, reusing sc. Index i resolves through
+// TokenAt(i). Content and order match FindIn exactly; the only
+// allocations are dst growth and sc's first use.
+func (cs *CandidateSet) FindInto(data []byte, sc *Scratch, dst []int) []int {
+	return cs.matcher.FindUniqueInto(data, sc, dst)
+}
+
+// FindStringInto is FindInto for string input, avoiding the []byte
+// conversion copy.
+func (cs *CandidateSet) FindStringInto(data string, sc *Scratch, dst []int) []int {
+	return cs.matcher.FindUniqueStringInto(data, sc, dst)
+}
+
+// TokenAt returns the token at index i of the compiled set, as reported
+// by FindInto. Callers must not mutate the result's Chain.
+func (cs *CandidateSet) TokenAt(i int) Token { return cs.tokens[i] }
 
 // Tokens returns the generated tokens. Callers must not mutate the
 // result.

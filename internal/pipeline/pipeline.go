@@ -26,6 +26,7 @@ import (
 	"piileak/internal/browser"
 	"piileak/internal/core"
 	"piileak/internal/crawler"
+	"piileak/internal/detect"
 	"piileak/internal/httpmodel"
 	"piileak/internal/obs"
 	"piileak/internal/tracking"
@@ -33,8 +34,10 @@ import (
 )
 
 // Detector is what the detection stage needs from a scanner. The
-// production implementation is *core.Detector; tests substitute
-// misbehaving detectors to exercise the crash-only path.
+// production implementation is *detect.Engine (each detect worker
+// derives a private Scanner from it); *core.Detector still satisfies it,
+// and tests substitute misbehaving detectors to exercise the crash-only
+// path.
 type Detector interface {
 	DetectSite(siteDomain string, records []httpmodel.Record) []core.Leak
 }
@@ -266,11 +269,19 @@ func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, de
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// An Engine detector is shared compile-time state; each
+			// worker scans through its own Scanner so the per-record
+			// scratch (match buffers, decode buffers, receiver memo) is
+			// never contended.
+			wdet := det
+			if eng, ok := det.(*detect.Engine); ok {
+				wdet = eng.NewScanner()
+			}
 			for r := range captures {
 				sp := o.StartSpan(obs.StageDetect, r.Crawl.Domain, r.Index)
 				out := siteOutput{res: r, records: len(r.Crawl.Records)}
 				if r.Crawl.Outcome == crawler.OutcomeSuccess {
-					detectGuarded(det, &out, eco, copts)
+					detectGuarded(wdet, &out, eco, copts)
 				}
 				if len(out.leaks) > 0 {
 					out.reqs = httpmodel.ReduceRecords(r.Crawl.Records)

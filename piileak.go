@@ -33,6 +33,7 @@ import (
 	"piileak/internal/core"
 	"piileak/internal/countermeasure"
 	"piileak/internal/crawler"
+	"piileak/internal/detect"
 	"piileak/internal/dnssim"
 	"piileak/internal/faultsim"
 	"piileak/internal/obs"
@@ -87,9 +88,17 @@ type Study struct {
 
 	// Eco is the generated synthetic web.
 	Eco *webgen.Ecosystem
-	// Candidates is the persona's compiled token set.
+	// Engine is the compiled two-phase detection engine: the immutable,
+	// shareable phase-1 state (candidate automaton, PSL, CNAME
+	// classifier) every run mode and detect worker scans through. It
+	// comes out of the process-wide build cache, so studies sharing a
+	// persona and candidate config share one compile.
+	Engine *detect.Engine
+	// Candidates is the persona's compiled token set (the Engine's).
 	Candidates *pii.CandidateSet
-	// Detector is the §4.1 leak detector.
+	// Detector is the legacy single-phase §4.1 leak detector, kept as
+	// the reference implementation; it shares the Engine's candidate
+	// set, so holding both costs no extra compile.
 	Detector *core.Detector
 
 	// Dataset, Leaks and Analysis are populated by Run (or RunStream).
@@ -119,15 +128,20 @@ func NewStudy(cfg Config) (*Study, error) {
 	if err != nil {
 		return nil, err
 	}
-	cs, err := pii.BuildCandidates(eco.Persona, pii.CandidateConfig{MaxDepth: cfg.CandidateDepth})
+	cname := dnssim.NewClassifier(eco.Zone)
+	eng, err := detect.NewEngine(eco.Persona, cname, detect.Config{
+		Candidates: pii.CandidateConfig{MaxDepth: cfg.CandidateDepth},
+	})
 	if err != nil {
 		return nil, err
 	}
+	cs := eng.Candidates()
 	return &Study{
 		Config:     cfg,
 		Eco:        eco,
+		Engine:     eng,
 		Candidates: cs,
-		Detector:   core.NewDetector(cs, dnssim.NewClassifier(eco.Zone)),
+		Detector:   core.NewDetector(cs, cname),
 	}, nil
 }
 
@@ -290,7 +304,7 @@ func (s *Study) RunSharded(ctx context.Context, opts shard.Options) (*shard.Repo
 		}
 		o.SetInfo(info)
 	}
-	res, report, err := shard.Supervise(ctx, s.Eco, s.Config.Browser, s.Detector, opts)
+	res, report, err := shard.Supervise(ctx, s.Eco, s.Config.Browser, s.detector(), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -358,7 +372,7 @@ func (s *Study) runPipeline(ctx context.Context, opts pipeline.Options) error {
 		}
 		o.SetInfo(info)
 	}
-	res, err := pipeline.Run(ctx, s.Eco, s.Config.Browser, s.Detector, opts)
+	res, err := pipeline.Run(ctx, s.Eco, s.Config.Browser, s.detector(), opts)
 	if err != nil {
 		return err
 	}
@@ -368,6 +382,17 @@ func (s *Study) runPipeline(ctx context.Context, opts pipeline.Options) error {
 	s.Analysis = res.Analysis
 	s.Streamed = !opts.KeepRecords
 	return nil
+}
+
+// detector returns the detector every run mode scans with: the
+// two-phase Engine when present (detect workers derive per-worker
+// Scanners from it), falling back to the legacy Detector for studies
+// assembled by hand.
+func (s *Study) detector() pipeline.Detector {
+	if s.Engine != nil {
+		return s.Engine
+	}
+	return s.Detector
 }
 
 // TotalRecords reports the captured request count, served from the
