@@ -15,11 +15,15 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Repo-specific determinism and PII-hygiene analyzers (internal/analysis,
-# DESIGN.md §8): detrand, maporder, piilog, closecheck. Zero findings or
-# the gate fails with file:line diagnostics.
+# Repo-specific determinism, PII-hygiene and concurrency-safety
+# analyzers (internal/analysis, DESIGN.md §8, §13): closecheck, ctxflow,
+# detrand, goroleak, lockdiscipline, maporder, obskey, piilog. Runs the
+# parallel DAG driver with the content-keyed cache, so a warm `make
+# lint` only re-analyzes packages whose source (or whose dependencies'
+# facts) changed. Zero findings or the gate fails with file:line
+# diagnostics.
 lint:
-	$(GO) run ./cmd/piilint ./...
+	$(GO) run ./cmd/piilint -workers 8 -cache .lintcache ./...
 
 test:
 	$(GO) test ./...

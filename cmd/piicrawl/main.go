@@ -270,7 +270,10 @@ func superviseRun(ctx context.Context, study *piileak.Study, common *cliflags.Co
 			fatal(err)
 		}
 		sopts.Command = func(s int) *exec.Cmd {
-			cmd := exec.Command(exe, common.ShardWorkerArgs(s)...)
+			// The supervisor owns the worker's lifetime: its stall
+			// watchdog kills the process, and the per-attempt ctx does
+			// not exist when this factory runs.
+			cmd := exec.Command(exe, common.ShardWorkerArgs(s)...) //lint:allow ctxflow supervisor kills the worker itself; per-attempt ctx unavailable here
 			cmd.Stderr = os.Stderr
 			return cmd
 		}

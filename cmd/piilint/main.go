@@ -1,17 +1,25 @@
-// Command piilint runs the repo's determinism and PII-hygiene analyzer
-// suite (internal/analysis): detrand, maporder, piilog, closecheck.
+// Command piilint runs the repo's determinism and concurrency-hygiene
+// analyzer suite (internal/analysis): closecheck, ctxflow, detrand,
+// goroleak, lockdiscipline, maporder, obskey, piilog.
 //
 // Standalone:
 //
-//	piilint ./...            # lint packages, exit 1 on findings
-//	piilint -list            # describe the suite
+//	piilint ./...                      # lint packages, exit 1 on findings
+//	piilint -workers 8 ./...           # parallel DAG driver
+//	piilint -cache .lintcache ./...    # content-keyed result cache
+//	piilint -json ./...                # JSON lines + summary trailer
+//	piilint -github ./...              # GitHub Actions ::error annotations
+//	piilint -stats ./...               # analyzed/cached counts on stderr
+//	piilint -list                      # describe the suite
 //
 // As a vet tool (the go/analysis unitchecker protocol):
 //
 //	go vet -vettool=$(which piilint) ./...
 //
-// Findings print as file:line:col: analyzer: message. Suppress a
-// deliberate exception with a trailing or preceding comment:
+// Findings print as file:line:col: analyzer: message, in one canonical
+// order (file, line, column, analyzer, message) regardless of worker
+// count or cache state. Suppress a deliberate exception with a trailing
+// or preceding comment:
 //
 //	//lint:allow <analyzer> <reason>
 //
@@ -20,6 +28,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +54,24 @@ func printVersion() {
 	fmt.Printf("%s version devel comments-go-here buildID=%s\n", name, id)
 }
 
+// jsonFinding is one -json output line; the field order here is the
+// byte order in the output.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonSummary is the -json trailer line.
+type jsonSummary struct {
+	Findings   int `json:"findings"`
+	Suppressed int `json:"suppressed"`
+	Analyzed   int `json:"analyzed"`
+	Cached     int `json:"cached"`
+}
+
 func main() {
 	// The go vet driver probes the tool before handing it work.
 	if len(os.Args) == 2 {
@@ -64,15 +91,20 @@ func main() {
 	}
 
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	workers := flag.Int("workers", 0, "concurrent package analyses (0 = GOMAXPROCS, 1 = sequential)")
+	cacheDir := flag.String("cache", "", "content-keyed result cache directory (empty = no cache)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON lines plus a summary trailer")
+	github := flag.Bool("github", false, "also emit GitHub Actions ::error annotations")
+	stats := flag.Bool("stats", false, "print analyzed/cached package counts to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: piilint [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: piilint [-list] [-workers n] [-cache dir] [-json] [-github] [-stats] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range suite.Analyzers() {
-			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -81,28 +113,68 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := analysis.Load("", patterns...)
+	graph, err := analysis.LoadGraph("", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "piilint:", err)
 		os.Exit(2)
 	}
-	findings, err := analysis.Run(pkgs, suite.Analyzers())
+	driver := &analysis.Driver{Workers: *workers}
+	if *cacheDir != "" {
+		driver.Cache = &analysis.Cache{Dir: *cacheDir}
+	}
+	findings, st, err := driver.Run(graph, suite.Analyzers())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "piilint:", err)
 		os.Exit(2)
 	}
+
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		name := f.Pos.Filename
+	rel := func(name string) string {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+			if r, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(r, "..") {
+				return r
 			}
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		return name
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, f := range findings {
+		name := rel(f.Pos.Filename)
+		if *jsonOut {
+			// Encode never fails on these flat structs; findings stay
+			// one-object-per-line in the canonical finding order.
+			enc.Encode(jsonFinding{
+				File: name, Line: f.Pos.Line, Col: f.Pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+			})
+		} else {
+			fmt.Printf("%s:%d:%d: %s: %s\n", name, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
+		if *github {
+			// The workflow-command grammar reserves these characters in
+			// property values.
+			esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ",", "%2C").Replace
+			fmt.Printf("::error file=%s,line=%d,col=%d::%s\n",
+				esc(name), f.Pos.Line, f.Pos.Column,
+				strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(f.Analyzer+": "+f.Message))
+		}
+	}
+	if *jsonOut {
+		enc.Encode(jsonSummary{
+			Findings:   len(findings),
+			Suppressed: st.Suppressed,
+			Analyzed:   len(st.Analyzed),
+			Cached:     len(st.Cached),
+		})
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "piilint: %d package(s) analyzed, %d from cache, %d finding(s), %d suppressed\n",
+			len(st.Analyzed), len(st.Cached), len(findings), st.Suppressed)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "piilint: %d finding(s)\n", len(findings))
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "piilint: %d finding(s)\n", len(findings))
+		}
 		os.Exit(1)
 	}
 }

@@ -46,17 +46,6 @@ func vetUnit(cfgPath string) {
 		fatalVet(fmt.Errorf("parsing %s: %w", cfgPath, err))
 	}
 
-	// This suite exchanges no facts between packages, but the driver
-	// still expects a vetx output file to exist.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fatalVet(err)
-		}
-	}
-	if cfg.VetxOnly {
-		return
-	}
-
 	fset := token.NewFileSet()
 	var syntax []*ast.File
 	for _, name := range cfg.GoFiles {
@@ -88,17 +77,46 @@ func vetUnit(cfgPath string) {
 		PkgPath: cfg.ImportPath, Dir: cfg.Dir,
 		Fset: fset, Syntax: syntax, Types: tpkg, TypesInfo: info,
 	}
-	findings, err := analysis.Run([]*analysis.Package{pkg}, suite.Analyzers())
+	res, err := analysis.AnalyzePackage(pkg, suite.Analyzers(), readVetxFacts(&cfg))
 	if err != nil {
 		fatalVet(err)
 	}
-	if len(findings) == 0 {
+	if cfg.VetxOutput != "" {
+		facts, err := res.Facts.Encode()
+		if err != nil {
+			fatalVet(err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+			fatalVet(err)
+		}
+	}
+	if cfg.VetxOnly || len(res.Findings) == 0 {
 		return
 	}
-	for _, f := range findings {
+	for _, f := range res.Findings {
 		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 	}
 	os.Exit(2)
+}
+
+// readVetxFacts loads the dependency fact sets the vet driver recorded
+// in PackageVetx (each file holds one package's FactSet.Encode output).
+// Absent or empty files mean "no facts", never an error — packages
+// without fact-producing code write empty sets.
+func readVetxFacts(cfg *vetConfig) analysis.FactReader {
+	deps := analysis.FactReader{}
+	for ipath, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		fs, err := analysis.DecodeFactSet(ipath, data)
+		if err != nil {
+			continue
+		}
+		deps[ipath] = fs
+	}
+	return deps
 }
 
 // vetImporter resolves imports through the driver-provided export-data

@@ -31,14 +31,24 @@ type Analyzer struct {
 	// and which invariant that protects.
 	Doc string
 
+	// FactTypes declares the Fact types this analyzer exports, as
+	// zero-value pointers (e.g. []analysis.Fact{(*WallClockFact)(nil)}
+	// is wrong — use &WallClockFact{}). Declaring them lets
+	// analysistest decode exported facts for `// want fact:`
+	// assertions and documents the analyzer's interprocedural
+	// surface in -list output.
+	FactTypes []Fact
+
 	// Run applies the analyzer to one package. It reports findings
-	// through pass.Report / pass.Reportf and returns an error only
-	// for internal failures (not for findings).
+	// through pass.Report / pass.Reportf, exchanges interprocedural
+	// knowledge through pass.ExportObjectFact / pass.ImportObjectFact,
+	// and returns an error only for internal failures (not findings).
 	Run func(pass *Pass) error
 }
 
-// A Pass is the input to an Analyzer.Run: one type-checked package and
-// a sink for diagnostics.
+// A Pass is the input to an Analyzer.Run: one type-checked package, a
+// sink for diagnostics, and the fact environment — the dependencies'
+// exported facts (read) and this package's fact set (write).
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -47,7 +57,22 @@ type Pass struct {
 	PkgPath   string
 	TypesInfo *types.Info
 
-	report func(Diagnostic)
+	report  func(Diagnostic)
+	facts   *FactSet   // this package's exports (all analyzers share one set)
+	deps    FactReader // dependencies' fact sets by import path
+	allowed func(name string, pos token.Pos) bool
+}
+
+// Allowed reports whether a //lint:allow directive for this analyzer
+// covers pos. Analyzers that derive facts from source lines (detrand's
+// wall-clock taint) consult it so a vetted exception does not smear
+// into every transitive caller — unless the analyzer decides severance
+// is severance regardless (ctxflow).
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.allowed == nil {
+		return false
+	}
+	return p.allowed(p.Analyzer.Name, pos)
 }
 
 // A Diagnostic is one finding.

@@ -8,12 +8,23 @@
 // and every diagnostic must be claimed by some want. //lint:allow
 // directives are honored, so suppression is testable too.
 //
+// Exported facts are testable at the definition site with the fact
+// form, matched against the fact's String() rendering:
+//
+//	func Stamp() int64 { // want fact:`wallclock\(via time\.Now\)`
+//
+// Diagnostic and fact patterns may be mixed in one want comment; every
+// exported fact must be claimed by a fact want, mirroring diagnostics.
+//
 // Testdata layout follows the upstream convention:
 //
 //	<analyzer>/testdata/src/<pkg>/*.go
 //
 // Packages may import the standard library and this repo's own
 // packages (resolved through `go list -export` from the module root).
+// RunDeps loads several testdata packages in dependency order, later
+// ones importing earlier ones by package name, so cross-package fact
+// propagation is testable too.
 package analysistest
 
 import (
@@ -27,11 +38,12 @@ import (
 	"piileak/internal/analysis"
 )
 
-// want is one expectation: a regexp that must match a diagnostic at
-// file:line.
+// want is one expectation: a regexp that must match a diagnostic (or,
+// when fact is set, an exported fact) at file:line.
 type want struct {
 	file string
 	line int
+	fact bool
 	re   *regexp.Regexp
 	raw  string
 	hit  bool
@@ -41,37 +53,75 @@ type want struct {
 // reports any mismatch between expectations and diagnostics on t.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
 	t.Helper()
-	src := filepath.Join(dir, "testdata", "src", pkg)
-	p, err := analysis.LoadDir(src)
+	RunDeps(t, dir, a, pkg)
+}
+
+// RunDeps loads several testdata packages in order — dependencies
+// first; later packages may import earlier ones by package name — and
+// applies the analyzer to each with facts flowing along the chain.
+// Diagnostics and fact expectations are checked in every package.
+func RunDeps(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	dirs := make([]string, len(pkgs))
+	for i, pkg := range pkgs {
+		dirs[i] = filepath.Join(dir, "testdata", "src", pkg)
+	}
+	loaded, err := analysis.LoadDirs(dirs...)
 	if err != nil {
-		t.Fatalf("loading %s: %v", src, err)
+		t.Fatalf("loading %s: %v", strings.Join(dirs, ", "), err)
 	}
 
-	wants, err := collectWants(p)
+	var wants []*want
+	for _, p := range loaded {
+		w, err := collectWants(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, w...)
+	}
+	if len(wants) == 0 {
+		// Belt and braces: a testdata corpus with zero expectations is
+		// far more likely a harness bug than a deliberate all-negative
+		// corpus — negative cases live beside positive ones.
+		t.Fatalf("testdata packages %v have no want expectations", pkgs)
+	}
+
+	results, err := analysis.RunPackages(loaded, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := analysis.Run([]*analysis.Package{p}, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatal(err)
-	}
 
-	for _, f := range findings {
-		if !claim(wants, f) {
-			t.Errorf("%s:%d: unexpected diagnostic: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+	for i, res := range results {
+		for _, f := range res.Findings {
+			if !claim(wants, false, f.Pos.Filename, f.Pos.Line, f.Message) {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+			}
+		}
+		p := loaded[i]
+		for _, of := range analysis.DecodeObjectFacts(p.Types, res.Facts, a) {
+			pos := p.Fset.Position(of.Object.Pos())
+			rendered := fmt.Sprint(of.Fact)
+			if !claim(wants, true, pos.Filename, pos.Line, rendered) {
+				t.Errorf("%s:%d: unexpected fact on %s: %s", pos.Filename, pos.Line, of.Object.Name(), rendered)
+			}
 		}
 	}
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+			kind := "diagnostic"
+			if w.fact {
+				kind = "fact"
+			}
+			t.Errorf("%s:%d: no %s matching %q", w.file, w.line, kind, w.raw)
 		}
 	}
 }
 
-// claim marks the first unhit want matching this finding.
-func claim(wants []*want, f analysis.Finding) bool {
+// claim marks the first unhit want of the right kind matching this
+// diagnostic or fact rendering.
+func claim(wants []*want, fact bool, file string, line int, text string) bool {
 	for _, w := range wants {
-		if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+		if !w.hit && w.fact == fact && w.file == file && w.line == line && w.re.MatchString(text) {
 			w.hit = true
 			return true
 		}
@@ -96,28 +146,38 @@ func collectWants(p *analysis.Package) ([]*want, error) {
 					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
 				}
 				for _, pat := range patterns {
-					re, err := regexp.Compile(pat)
+					re, err := regexp.Compile(pat.re)
 					if err != nil {
-						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat.re, err)
 					}
-					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, fact: pat.fact, re: re, raw: pat.re})
 				}
 			}
 		}
 	}
-	// Belt and braces: a testdata package with zero expectations is
-	// far more likely a harness bug than a deliberate all-negative
-	// corpus — negative cases live beside positive ones.
-	if len(wants) == 0 {
-		return nil, fmt.Errorf("testdata package %s has no want expectations", p.PkgPath)
-	}
 	return wants, nil
 }
 
-// splitPatterns parses a sequence of Go-quoted or backquoted strings.
-func splitPatterns(s string) ([]string, error) {
-	var out []string
+// pattern is one parsed want item: a diagnostic regexp, or a fact
+// regexp when prefixed with "fact:".
+type pattern struct {
+	fact bool
+	re   string
+}
+
+// splitPatterns parses a sequence of Go-quoted or backquoted strings,
+// each optionally prefixed with "fact:".
+func splitPatterns(s string) ([]pattern, error) {
+	var out []pattern
 	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		var p pattern
+		if rest, ok := strings.CutPrefix(s, "fact:"); ok {
+			p.fact = true
+			s = rest
+		}
+		if s == "" {
+			return nil, fmt.Errorf("fact: prefix needs a quoted pattern")
+		}
 		var quote byte
 		switch s[0] {
 		case '"', '`':
@@ -134,7 +194,8 @@ func splitPatterns(s string) ([]string, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad want pattern %q: %v", lit, err)
 		}
-		out = append(out, pat)
+		p.re = pat
+		out = append(out, p)
 		s = s[end+2:]
 	}
 	return out, nil

@@ -1,0 +1,94 @@
+// Package a exercises ctxflow: detached contexts, ignored Context
+// variants, blocking sleeps, and suppression.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+var sink any
+
+func detached() {
+	sink = context.Background() // want `context\.Background creates a detached context`
+	sink = context.TODO()       // want `context\.TODO creates a detached context`
+}
+
+func allowed() {
+	sink = context.Background() //lint:allow ctxflow fixture: suppression must hide this finding
+}
+
+func sleepy(ctx context.Context) {
+	time.Sleep(time.Second) // want `time\.Sleep ignores the caller's ctx`
+	_ = ctx
+}
+
+func sleepWithoutCtx() {
+	// No ctx in scope: the sleep is detrand/latency business, not
+	// ctxflow's.
+	time.Sleep(time.Millisecond)
+}
+
+func capturedCtx(ctx context.Context) {
+	f := func() {
+		time.Sleep(time.Second) // want `time\.Sleep ignores the caller's ctx`
+	}
+	f()
+	_ = ctx
+}
+
+func do()                           { sink = 1 }
+func doContext(ctx context.Context) { sink = ctx }
+
+func caller(ctx context.Context) {
+	do() // want `do has a context-capable variant doContext`
+	doContext(ctx)
+}
+
+func callerWithoutCtx() {
+	do() // no ctx in hand: nothing to thread
+}
+
+type client struct{}
+
+func (client) Fetch()                           {}
+func (client) FetchContext(ctx context.Context) {}
+
+func method(ctx context.Context, c client) {
+	c.Fetch() // want `Fetch has a context-capable variant FetchContext`
+	c.FetchContext(ctx)
+}
+
+func vetted(ctx context.Context) {
+	do() //lint:allow ctxflow fixture: suppression must hide this finding
+	_ = ctx
+}
+
+// nilGuard is the ctx-optional entry point idiom: defaulting a nil ctx
+// keeps callers honest without detaching from one they did supply.
+func nilGuard(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if nil == ctx {
+		ctx = context.TODO()
+	}
+	sink = ctx
+}
+
+func nilGuardWrongVar(ctx context.Context) {
+	if sink == nil {
+		// The guard must test the ctx itself; this detaches.
+		ctx = context.Background() // want `context\.Background creates a detached context`
+	}
+	sink = ctx
+}
+
+// waitContext implements itself in terms of wait: the variant rule
+// must not tell the Context variant to call itself.
+func wait() { sink = 2 }
+
+func waitContext(ctx context.Context) {
+	wait()
+	_ = ctx
+}

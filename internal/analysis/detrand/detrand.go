@@ -18,9 +18,26 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "flags time.Now/time.Since, context.WithTimeout, math/rand " +
 		"global-source functions, entropy-seeded rand.New, and map-range " +
 		"output in deterministic packages; these break byte-identical " +
-		"study reproduction",
-	Run: run,
+		"study reproduction. Exports WallClockFact on functions that " +
+		"transitively read the wall clock, so deterministic packages " +
+		"flag helper calls too",
+	FactTypes: []analysis.Fact{&WallClockFact{}},
+	Run:       run,
 }
+
+// A WallClockFact marks a function that transitively reads the wall
+// clock: time.Now/Since or context.WithTimeout directly, or a call to
+// a function already carrying the fact. An allowed (//lint:allow)
+// read severs the taint — a vetted exception does not smear into
+// every transitive caller.
+type WallClockFact struct {
+	Via string // the first wall-clock source found, e.g. "time.Now" or "a.Stamp"
+}
+
+// AFact marks WallClockFact as a fact type.
+func (*WallClockFact) AFact() {}
+
+func (f *WallClockFact) String() string { return "wallclock(via " + f.Via + ")" }
 
 // DeterministicPackages lists the import paths whose output feeds the
 // pinned study bytes: in these, iterating a map straight into fmt or an
@@ -51,11 +68,16 @@ func run(pass *analysis.Pass) error {
 	deterministic := DeterministicPackages[pass.PkgPath] ||
 		DeterministicPackages["piileak/internal/"+path.Base(pass.PkgPath)]
 
+	marked := exportWallClockFacts(pass)
+
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				checkCall(pass, n)
+				if deterministic {
+					checkTaintedCall(pass, n, marked)
+				}
 			case *ast.RangeStmt:
 				if deterministic {
 					checkRangeOutput(pass, n)
@@ -65,6 +87,134 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// exportWallClockFacts runs the intra-package fixpoint: a package-level
+// function earns a WallClockFact when its body reads the wall clock at
+// a non-allowed position, or calls (at a non-allowed position) a
+// function already carrying the fact — same-package or imported. The
+// returned map is the same-package view the report phase consults.
+func exportWallClockFacts(pass *analysis.Pass) map[*types.Func]*WallClockFact {
+	type decl struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []decl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || analysis.ObjectKey(fn) == "" {
+				continue
+			}
+			decls = append(decls, decl{fn: fn, body: fd.Body})
+		}
+	}
+
+	marked := map[*types.Func]*WallClockFact{}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if marked[d.fn] != nil {
+				continue
+			}
+			via := wallClockVia(pass, d.body, marked)
+			if via == "" {
+				continue
+			}
+			fact := &WallClockFact{Via: via}
+			marked[d.fn] = fact
+			pass.ExportObjectFact(d.fn, fact)
+			changed = true
+		}
+	}
+	return marked
+}
+
+// wallClockVia scans one function body for the first wall-clock source
+// — a direct read or a call to a tainted function — skipping allowed
+// positions. It returns the source's label, or "".
+func wallClockVia(pass *analysis.Pass, body *ast.BlockStmt, marked map[*types.Func]*WallClockFact) string {
+	info := pass.TypesInfo
+	via := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if via != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pass.Allowed(call.Pos()) {
+			return true // vetted exception: severed, keep scanning siblings
+		}
+		fn := analysis.Callee(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case analysis.IsPkgCall(info, call, "time", "Now", "Since"):
+			via = "time." + fn.Name()
+		case analysis.IsPkgCall(info, call, "context", "WithTimeout"):
+			via = "context.WithTimeout"
+		default:
+			if taintedCallee(pass, fn, marked) != nil {
+				via = funcLabel(pass, fn)
+			}
+		}
+		return via == ""
+	})
+	return via
+}
+
+// taintedCallee returns fn's WallClockFact, consulting the same-package
+// fixpoint state for local functions and imported fact sets otherwise.
+func taintedCallee(pass *analysis.Pass, fn *types.Func, marked map[*types.Func]*WallClockFact) *WallClockFact {
+	if fn.Pkg() == pass.Pkg {
+		return marked[fn]
+	}
+	var fact WallClockFact
+	if pass.ImportObjectFact(fn, &fact) {
+		return &fact
+	}
+	return nil
+}
+
+// checkTaintedCall reports (in deterministic packages) calls to
+// functions that transitively read the wall clock — the interprocedural
+// complement of checkCall's direct-read rule.
+func checkTaintedCall(pass *analysis.Pass, call *ast.CallExpr, marked map[*types.Func]*WallClockFact) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time", "context", "math/rand", "math/rand/v2":
+		return // direct-read checks own these
+	}
+	fact := taintedCallee(pass, fn, marked)
+	if fact == nil {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s transitively reads the wall clock (via %s), which breaks byte-identical reproduction; "+
+			"thread a resilience.Clock through it instead", funcLabel(pass, fn), fact.Via)
+}
+
+// funcLabel renders fn for diagnostics: "Name" or "Recv.Name" in the
+// current package, "pkg.Name" elsewhere.
+func funcLabel(pass *analysis.Pass, fn *types.Func) string {
+	name := analysis.ObjectKey(fn)
+	if name == "" {
+		name = fn.Name()
+	}
+	if fn.Pkg() == pass.Pkg {
+		return name
+	}
+	return path.Base(fn.Pkg().Path()) + "." + name
 }
 
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {

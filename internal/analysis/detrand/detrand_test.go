@@ -14,3 +14,10 @@ func TestClockAndRNG(t *testing.T) {
 func TestDeterministicPackageOutput(t *testing.T) {
 	analysistest.Run(t, ".", detrand.Analyzer, "core")
 }
+
+// TestTransitiveFacts pins the interprocedural rule end-to-end: "a"
+// exports WallClockFact on Stamp, and the deterministic "pipeline"
+// package (which imports it) flags the call site and re-exports.
+func TestTransitiveFacts(t *testing.T) {
+	analysistest.RunDeps(t, ".", detrand.Analyzer, "a", "pipeline")
+}

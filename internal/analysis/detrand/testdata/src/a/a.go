@@ -11,11 +11,23 @@ import (
 
 var sink any
 
-func wallClock() {
+func wallClock() { // want fact:`wallclock\(via time\.Now\)`
 	t := time.Now() // want `time\.Now reads the wall clock`
 	sink = t
 	d := time.Since(time.Unix(0, 0)) // want `time\.Since reads the wall clock`
 	sink = d
+}
+
+// Stamp is the exported transitive source the cross-package fact test
+// (testdata/src/pipeline) imports.
+func Stamp() int64 { // want fact:`wallclock\(via time\.Now\)`
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func indirect() int64 { // want fact:`wallclock\(via Stamp\)`
+	// package a is not deterministic, so the tainted call is fact-only:
+	// the fact re-exports, but no diagnostic fires here.
+	return Stamp()
 }
 
 func globalSource() {
@@ -32,7 +44,7 @@ func seededIsFine() {
 	sink = r1.Intn(5)
 }
 
-func clockSeeded() {
+func clockSeeded() { // want fact:`wallclock\(via time\.Now\)`
 	r := mrand.New(mrand.NewSource(time.Now().UnixNano())) // want `time\.Now reads the wall clock` `rand\.New seeded from the clock`
 	sink = r.Intn(3)
 }
@@ -42,7 +54,7 @@ func suppressed() {
 	sink = t
 }
 
-func wallDeadline(ctx context.Context, clock interface{ Now() time.Time }) {
+func wallDeadline(ctx context.Context, clock interface{ Now() time.Time }) { // want fact:`wallclock\(via context\.WithTimeout\)`
 	c1, stop1 := context.WithTimeout(ctx, 3*time.Second) // want `context\.WithTimeout anchors its deadline to the wall clock`
 	defer stop1()
 	sink = c1

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"time"
 )
 
 func emit(m map[string]int) {
@@ -19,6 +20,23 @@ func encode(m map[string]int, enc *json.Encoder) {
 	for k := range m {
 		_ = enc.Encode(k) // want `json encode inside a map range`
 	}
+}
+
+// now and stampRow pin the interprocedural rule: in a deterministic
+// package, calling a helper that transitively reads the wall clock is
+// flagged at the call site, and the taint re-exports.
+func now() int64 { // want fact:`wallclock\(via time\.Now\)`
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func stampRow() { // want fact:`wallclock\(via now\)`
+	fmt.Println(now()) // want `now transitively reads the wall clock \(via time\.Now\)`
+}
+
+func vettedHelper() {
+	// An allow on the tainted call severs the taint: no diagnostic, no
+	// re-exported fact.
+	fmt.Println(now()) //lint:allow detrand fixture: vetted transitive read stays fact-free
 }
 
 func collectSortEmit(m map[string]int) {

@@ -1,0 +1,16 @@
+// Package pipeline exercises detrand's cross-package fact flow: the
+// package base name marks it deterministic, and the sibling testdata
+// package "a" exports wall-clock facts it must honor.
+package pipeline
+
+import "a"
+
+var sink any
+
+func emitRow() { // want fact:`wallclock\(via a\.Stamp\)`
+	sink = a.Stamp() // want `a\.Stamp transitively reads the wall clock \(via time\.Now\)`
+}
+
+func vetted() {
+	sink = a.Stamp() //lint:allow detrand fixture: vetted transitive read stays fact-free
+}

@@ -1,0 +1,137 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"piileak/internal/analysis"
+	"piileak/internal/analysis/detrand"
+)
+
+// scratchModule writes a three-package chain base <- core <- pipeline
+// whose wall-clock taint crosses both edges via WallClockFact: base
+// reads time.Now directly, and the other two (deterministic by base
+// name) are flagged only because the fact propagates.
+func scratchModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("base/base.go", `package base
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	write("core/core.go", `package core
+
+import "scratch/base"
+
+func Row() int64 { return base.Stamp() }
+`)
+	write("pipeline/pipeline.go", `package pipeline
+
+import "scratch/core"
+
+func Emit() int64 { return core.Row() }
+`)
+	return dir
+}
+
+func renderFindings(fs []analysis.Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String()
+	}
+	return out
+}
+
+func driverRun(t *testing.T, dir string, d *analysis.Driver) ([]string, *analysis.Stats) {
+	t.Helper()
+	g, err := analysis.LoadGraph(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, stats, err := d.Run(g, []*analysis.Analyzer{detrand.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return renderFindings(findings), stats
+}
+
+// TestDriverParallelMatchesSequential pins the driver's core guarantee:
+// worker count never changes the output bytes. The fact chain forces a
+// real scheduling dependency — analyzing core before base would miss
+// the taint.
+func TestDriverParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a scratch module with the go tool")
+	}
+	dir := scratchModule(t)
+	sequential, _ := driverRun(t, dir, &analysis.Driver{Workers: 1})
+	if len(sequential) != 3 {
+		t.Fatalf("want 3 findings (one per package), got %d:\n%v", len(sequential), sequential)
+	}
+	for i := 0; i < 5; i++ {
+		parallel, _ := driverRun(t, dir, &analysis.Driver{Workers: 8})
+		if !reflect.DeepEqual(sequential, parallel) {
+			t.Fatalf("run %d: 8-worker output diverged from sequential\nseq: %v\npar: %v", i, sequential, parallel)
+		}
+	}
+}
+
+// TestDriverCacheWarmAndInvalidation pins the cache contract: a warm
+// run analyzes nothing, and mutating one package re-analyzes exactly
+// that package and its dependents — with identical findings throughout.
+func TestDriverCacheWarmAndInvalidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a scratch module with the go tool")
+	}
+	dir := scratchModule(t)
+	cache := &analysis.Cache{Dir: filepath.Join(t.TempDir(), "lintcache")}
+
+	cold, stats := driverRun(t, dir, &analysis.Driver{Workers: 4, Cache: cache})
+	if want := []string{"scratch/base", "scratch/core", "scratch/pipeline"}; !reflect.DeepEqual(stats.Analyzed, want) {
+		t.Fatalf("cold run: Analyzed = %v, want %v", stats.Analyzed, want)
+	}
+
+	warm, stats := driverRun(t, dir, &analysis.Driver{Workers: 4, Cache: cache})
+	if len(stats.Analyzed) != 0 || len(stats.Cached) != 3 {
+		t.Fatalf("warm run: Analyzed = %v, Cached = %v, want everything cached", stats.Analyzed, stats.Cached)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm findings diverged:\ncold: %v\nwarm: %v", cold, warm)
+	}
+
+	// Touching core must invalidate core and its dependent pipeline,
+	// but base stays served from cache; the findings do not move.
+	corePath := filepath.Join(dir, "core", "core.go")
+	src, err := os.ReadFile(corePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(corePath, append(src, []byte("\n// touched\n")...), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	mutated, stats := driverRun(t, dir, &analysis.Driver{Workers: 4, Cache: cache})
+	if want := []string{"scratch/core", "scratch/pipeline"}; !reflect.DeepEqual(stats.Analyzed, want) {
+		t.Fatalf("after mutation: Analyzed = %v, want %v", stats.Analyzed, want)
+	}
+	if want := []string{"scratch/base"}; !reflect.DeepEqual(stats.Cached, want) {
+		t.Fatalf("after mutation: Cached = %v, want %v", stats.Cached, want)
+	}
+	if !reflect.DeepEqual(cold, mutated) {
+		t.Fatalf("mutation changed findings:\nbefore: %v\nafter:  %v", cold, mutated)
+	}
+}

@@ -1,0 +1,228 @@
+// Package goroleak enforces goroutine hygiene in library packages: a
+// launched goroutine must have a cancellation (or join) path — a ctx
+// it watches, a channel it receives on, a select, or a WaitGroup it
+// signals — so the crash-only runtime (DESIGN.md §9, §11) can actually
+// drain on shutdown. Goroutines that can outlive the study run skew
+// the supervisor's restart accounting and leak under the torture
+// harnesses.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"piileak/internal/analysis"
+)
+
+// Analyzer is the goroleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "goroutines launched in library packages must have a " +
+		"cancellation path: a ctx parameter, a channel receive or " +
+		"select, or a sync.WaitGroup join. Exports WaitsForCancelFact " +
+		"on functions that block cancellably, so launching them from " +
+		"another package is provably safe",
+	FactTypes: []analysis.Fact{&WaitsForCancelFact{}},
+	Run:       run,
+}
+
+// A WaitsForCancelFact marks a function whose body has a cancellation
+// or join path — it watches a ctx, receives on a channel, selects, or
+// signals a WaitGroup — so `go pkg.F(...)` is safe from any package.
+type WaitsForCancelFact struct{}
+
+// AFact marks WaitsForCancelFact as a fact type.
+func (*WaitsForCancelFact) AFact() {}
+
+func (*WaitsForCancelFact) String() string { return "waitsForCancel" }
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		// Package main's goroutines die with the process; the library
+		// rule is about goroutines outliving a Study.Run call.
+		return nil
+	}
+	marked := exportCancelFacts(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, g, marked)
+			return true
+		})
+	}
+	return nil
+}
+
+// exportCancelFacts runs the intra-package fixpoint: a package-level
+// function earns WaitsForCancelFact when its body has a cancellation
+// marker (see hasCancelPath), possibly through a call to another
+// marked function.
+func exportCancelFacts(pass *analysis.Pass) map[*types.Func]bool {
+	type decl struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []decl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || analysis.ObjectKey(fn) == "" {
+				continue
+			}
+			decls = append(decls, decl{fn: fn, body: fd.Body})
+		}
+	}
+	marked := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if marked[d.fn] {
+				continue
+			}
+			if hasCancelPath(pass, d.body, marked) {
+				marked[d.fn] = true
+				pass.ExportObjectFact(d.fn, &WaitsForCancelFact{})
+				changed = true
+			}
+		}
+	}
+	return marked
+}
+
+// checkGo verifies one go statement has a cancellation path: the
+// launched literal's body has a marker, or the named callee takes a
+// ctx, carries WaitsForCancelFact, or is a marked local function.
+func checkGo(pass *analysis.Pass, g *ast.GoStmt, marked map[*types.Func]bool) {
+	call := g.Call
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if hasCancelPath(pass, lit.Body, marked) {
+			return
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine has no cancellation path (no ctx, channel receive, select, or WaitGroup); "+
+				"it can outlive the study run — thread a ctx or done channel")
+		return
+	}
+	if fn := analysis.Callee(pass.TypesInfo, call); fn != nil {
+		if cancellableCallee(pass, fn, marked) {
+			return
+		}
+	}
+	// A ctx or channel handed to the goroutine as an argument is a
+	// cancellation path for the launcher's purposes even when the
+	// callee is a function value we cannot resolve.
+	for _, arg := range call.Args {
+		if t := pass.TypesInfo.TypeOf(arg); t != nil && isCtxType(t) {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(),
+		"goroutine has no cancellation path (callee takes no ctx and is not known to block cancellably); "+
+			"it can outlive the study run — thread a ctx or done channel")
+}
+
+// cancellableCallee reports whether launching fn is safe: a ctx
+// parameter, the local fixpoint mark, or an imported fact.
+func cancellableCallee(pass *analysis.Pass, fn *types.Func, marked map[*types.Func]bool) bool {
+	if sig, ok := fn.Type().(*types.Signature); ok && sigHasCtx(sig) {
+		return true
+	}
+	if fn.Pkg() == pass.Pkg {
+		return marked[fn]
+	}
+	var fact WaitsForCancelFact
+	return pass.ImportObjectFact(fn, &fact)
+}
+
+// hasCancelPath scans a body (nested literals included — a goroutine
+// that launches a cancellable helper is itself governed by that
+// helper's discipline) for a cancellation marker: a channel receive,
+// a select, ranging over a channel, any context.Context-typed
+// expression, a sync.WaitGroup method call, or a call to a function
+// already known to block cancellably.
+func hasCancelPath(pass *analysis.Pass, body *ast.BlockStmt, marked map[*types.Func]bool) bool {
+	info := pass.TypesInfo
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn := analysis.Callee(info, n); fn != nil {
+				if isWaitGroupMethod(fn) {
+					found = true
+				} else if cancellableCallee(pass, fn, marked) {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if t := info.TypeOf(n); t != nil && isCtxType(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupMethod reports whether fn is (*sync.WaitGroup).Done or
+// .Wait — the join half of the WaitGroup protocol.
+func isWaitGroupMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	if fn.Name() != "Done" && fn.Name() != "Wait" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// sigHasCtx reports whether any parameter of sig is a context.Context.
+func sigHasCtx(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isCtxType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

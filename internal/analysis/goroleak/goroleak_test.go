@@ -1,0 +1,18 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"piileak/internal/analysis/analysistest"
+	"piileak/internal/analysis/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, ".", goroleak.Analyzer, "a")
+}
+
+// TestCrossPackageFacts pins that WaitsForCancelFact travels: package
+// "b" may launch a.Drain (fact-carrying) but not a.Spin.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.RunDeps(t, ".", goroleak.Analyzer, "a", "b")
+}

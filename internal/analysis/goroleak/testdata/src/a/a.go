@@ -1,0 +1,87 @@
+// Package a exercises goroleak: leaky launches, the accepted
+// cancellation shapes, fact export, and suppression.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+var sink any
+
+func fire(work func()) {
+	go work() // want `goroutine has no cancellation path`
+}
+
+func spinLit() {
+	go func() { // want `goroutine has no cancellation path`
+		for {
+			sink = 1
+		}
+	}()
+}
+
+func withCtx(ctx context.Context) { // want fact:`waitsForCancel`
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func withDone(done chan struct{}) { // want fact:`waitsForCancel`
+	go func() {
+		select {
+		case <-done:
+		}
+	}()
+}
+
+func withWG(wg *sync.WaitGroup) { // want fact:`waitsForCancel`
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sink = 2
+	}()
+}
+
+func withChanRange(ch chan int) { // want fact:`waitsForCancel`
+	go func() {
+		for v := range ch {
+			sink = v
+		}
+	}()
+}
+
+// Worker blocks on its ctx: launching it from anywhere is safe by
+// signature alone.
+func Worker(ctx context.Context) { // want fact:`waitsForCancel`
+	<-ctx.Done()
+}
+
+func launchWorker(ctx context.Context) { // want fact:`waitsForCancel`
+	go Worker(ctx)
+}
+
+// Drain has no ctx parameter but provably blocks on a channel: the
+// exported fact is what lets other packages launch it.
+func Drain(ch chan int) int { // want fact:`waitsForCancel`
+	return <-ch
+}
+
+func launchDrain(ch chan int) { // want fact:`waitsForCancel`
+	go Drain(ch)
+}
+
+// Spin never yields: launching it is the bug class.
+func Spin() {
+	for {
+		sink = 3
+	}
+}
+
+func launchSpin() {
+	go Spin() // want `goroutine has no cancellation path`
+}
+
+func vetted() {
+	go Spin() //lint:allow goroleak fixture: suppression must hide this finding
+}

@@ -1,0 +1,14 @@
+// Package b exercises goroleak's cross-package facts: a.Drain has no
+// ctx parameter, so only the imported WaitsForCancelFact proves the
+// launch safe; a.Spin has no fact and stays a finding.
+package b
+
+import "a"
+
+func launchImportedDrain(ch chan int) { // want fact:`waitsForCancel`
+	go a.Drain(ch)
+}
+
+func launchImportedSpin() {
+	go a.Spin() // want `goroutine has no cancellation path`
+}

@@ -29,11 +29,12 @@ type Package struct {
 	TypesInfo *types.Info
 }
 
-// listPackage is the subset of `go list -json` output the loader reads.
+// listPackage is the subset of `go list -json` output the loaders read.
 type listPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	Standard   bool
 	DepOnly    bool
@@ -119,6 +120,48 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // module, so testdata may import both the standard library and this
 // repo's own packages.
 func LoadDir(dir string) (*Package, error) {
+	pkgs, err := LoadDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[0], nil
+}
+
+// LoadDirs parses and type-checks several testdata directories in
+// order. Later packages may import earlier ones by their package name
+// (e.g. `import "a"` resolves to the already-checked testdata package
+// a) — the shape cross-package fact tests need. All packages share one
+// FileSet so positions stay comparable.
+func LoadDirs(dirs ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	local := map[string]*types.Package{}
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDirInto(fset, local, dir)
+		if err != nil {
+			return nil, err
+		}
+		local[pkg.PkgPath] = pkg.Types
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// overrideImporter resolves import paths through already-type-checked
+// testdata packages first, then falls back to gc export data.
+type overrideImporter struct {
+	local map[string]*types.Package
+	base  types.Importer
+}
+
+func (o overrideImporter) Import(path string) (*types.Package, error) {
+	if p, ok := o.local[path]; ok {
+		return p, nil
+	}
+	return o.base.Import(path)
+}
+
+func loadDirInto(fset *token.FileSet, local map[string]*types.Package, dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %w", err)
@@ -134,7 +177,6 @@ func LoadDir(dir string) (*Package, error) {
 	}
 	sort.Strings(files)
 
-	fset := token.NewFileSet()
 	var syntax []*ast.File
 	imports := map[string]bool{}
 	for _, name := range files {
@@ -145,7 +187,7 @@ func LoadDir(dir string) (*Package, error) {
 		syntax = append(syntax, f)
 		for _, spec := range f.Imports {
 			path, _ := strconv.Unquote(spec.Path.Value)
-			if path != "" {
+			if path != "" && local[path] == nil {
 				imports[path] = true
 			}
 		}
@@ -191,7 +233,7 @@ func LoadDir(dir string) (*Package, error) {
 
 	pkgPath := syntax[0].Name.Name
 	info := NewInfo()
-	conf := types.Config{Importer: ExportImporter(fset, exports)}
+	conf := types.Config{Importer: overrideImporter{local: local, base: ExportImporter(fset, exports)}}
 	tpkg, err := conf.Check(pkgPath, fset, syntax, info)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", dir, err)
@@ -223,7 +265,10 @@ func checkPackage(fset *token.FileSet, imp types.Importer, pkgPath, dir string, 
 	var syntax []*ast.File
 	abs := make([]string, 0, len(goFiles))
 	for _, name := range goFiles {
-		path := filepath.Join(dir, name)
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
 		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)

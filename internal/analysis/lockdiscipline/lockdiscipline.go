@@ -1,0 +1,369 @@
+// Package lockdiscipline enforces ERASER-style mutex hygiene: lock
+// state must never be copied (a copied sync.Mutex silently splits the
+// critical section), and every Lock must be dominated by an Unlock —
+// a defer, or an explicit release on every return path. The concurrent
+// scanner and the sharded supervisor make both mistakes cheap to write
+// and expensive to debug.
+package lockdiscipline
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"piileak/internal/analysis"
+)
+
+// Analyzer is the lockdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "flags sync.Mutex/RWMutex value copies (parameters, receivers, " +
+		"assignments, range values) and Lock/RLock calls not released on " +
+		"every path (no defer and a return escapes while holding)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkSignatureCopies(pass, fd)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkAssignCopies(pass, n)
+			case *ast.RangeStmt:
+				checkRangeCopies(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkLockPaths(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkLockPaths(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ---- lock copies ----
+
+// lockDesc describes how t carries lock state by value: "sync.Mutex"
+// itself, or "T (contains sync.Mutex)" for a struct/array holding one.
+// It returns "" when t copies no lock state (pointers are fine).
+func lockDesc(t types.Type) string {
+	name := containedLock(t, 0)
+	if name == "" {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok && !isLockType(t) {
+		return named.Obj().Name() + " (contains " + name + ")"
+	}
+	if !isLockType(t) {
+		return "a value containing " + name
+	}
+	return name
+}
+
+// containedLock returns the name of the first sync lock reachable from
+// t without following a pointer, or "".
+func containedLock(t types.Type, depth int) string {
+	if depth > 10 {
+		return ""
+	}
+	if isLockType(t) {
+		named := t.(*types.Named)
+		return "sync." + named.Obj().Name()
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := containedLock(u.Field(i).Type(), depth+1); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return containedLock(u.Elem(), depth+1)
+	}
+	return ""
+}
+
+// isLockType reports whether t is sync.Mutex, sync.RWMutex, or
+// sync.Once (whose done-state copies just as wrongly).
+func isLockType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "Once", "WaitGroup", "Cond":
+		return true
+	}
+	return false
+}
+
+// checkSignatureCopies flags value parameters and receivers whose type
+// carries lock state.
+func checkSignatureCopies(pass *analysis.Pass, fd *ast.FuncDecl) {
+	report := func(field *ast.Field, kind string) {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			return
+		}
+		if _, ok := t.(*types.Pointer); ok {
+			return
+		}
+		if desc := lockDesc(t); desc != "" {
+			pass.Reportf(field.Pos(),
+				"%s passed by value as a %s copies its lock state; use a pointer", desc, kind)
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			report(field, "receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			report(field, "parameter")
+		}
+	}
+}
+
+// checkAssignCopies flags assignments that copy a lock-carrying value
+// read from an existing variable (composite literals and call results
+// are fresh values, not copies of a live lock).
+func checkAssignCopies(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if len(as.Lhs) == len(as.Rhs) {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				continue // a blank-identifier discard copies nothing
+			}
+		}
+		if !isReadForm(rhs) {
+			continue
+		}
+		t := pass.TypesInfo.TypeOf(rhs)
+		if t == nil {
+			continue
+		}
+		if desc := lockDesc(t); desc != "" {
+			pass.Reportf(rhs.Pos(),
+				"assignment copies %s; lock state must not be duplicated — use a pointer", desc)
+		}
+	}
+}
+
+// checkRangeCopies flags range clauses whose value variable copies a
+// lock-carrying element each iteration.
+func checkRangeCopies(pass *analysis.Pass, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(rng.Value)
+	if t == nil {
+		return
+	}
+	if desc := lockDesc(t); desc != "" {
+		pass.Reportf(rng.Value.Pos(),
+			"range value copies %s each iteration; iterate by index or store pointers", desc)
+	}
+}
+
+// isReadForm reports whether e reads an existing value (as opposed to
+// constructing a fresh one).
+func isReadForm(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "_"
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// ---- lock/unlock paths ----
+
+// lockInfo tracks one outstanding Lock call.
+type lockInfo struct {
+	pos      ast.Node // the Lock call, where findings anchor
+	call     string   // rendered "mu.Lock" form for the message
+	release  string   // the matching release method name
+	reported bool
+}
+
+// checkLockPaths scans one function body (nested literals are scanned
+// separately) and reports Lock calls that a return path escapes while
+// holding, or that are never released at all.
+func checkLockPaths(pass *analysis.Pass, body *ast.BlockStmt) {
+	held := scanStmts(pass, body.List, map[string]*lockInfo{})
+	for _, li := range held {
+		if !li.reported {
+			li.reported = true
+			pass.Reportf(li.pos.Pos(),
+				"%s() is never released in this function; add defer %s()", li.call, li.release)
+		}
+	}
+}
+
+// lockEvent classifies a statement-level call on a sync lock.
+func lockEvent(pass *analysis.Pass, call *ast.CallExpr) (key, method, recv string, ok bool) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", "", false
+	}
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", "", false
+	}
+	recv = exprKey(sel.X)
+	kind := "w" // write-lock family
+	if fn.Name() == "RLock" || fn.Name() == "RUnlock" {
+		kind = "r"
+	}
+	return recv + "/" + kind, fn.Name(), recv, true
+}
+
+// scanStmts walks one statement list, tracking outstanding locks.
+// Branch bodies are scanned with a shallow copy of the held map
+// (lockInfo values shared, so one Lock reports at most once); the
+// union of outstanding locks survives the branch — conservative in
+// both directions the discipline cares about.
+func scanStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]*lockInfo) map[string]*lockInfo {
+	for _, stmt := range stmts {
+		held = scanStmt(pass, stmt, held)
+	}
+	return held
+}
+
+func scanStmt(pass *analysis.Pass, stmt ast.Stmt, held map[string]*lockInfo) map[string]*lockInfo {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return held
+		}
+		key, method, recv, ok := lockEvent(pass, call)
+		if !ok {
+			return held
+		}
+		switch method {
+		case "Lock", "RLock":
+			release := "Unlock"
+			if method == "RLock" {
+				release = "RUnlock"
+			}
+			held[key] = &lockInfo{
+				pos:     call,
+				call:    recv + "." + method,
+				release: recv + "." + release,
+			}
+		case "Unlock", "RUnlock":
+			delete(held, key)
+		}
+	case *ast.DeferStmt:
+		if key, method, _, ok := lockEvent(pass, s.Call); ok && (method == "Unlock" || method == "RUnlock") {
+			delete(held, key)
+		}
+	case *ast.ReturnStmt:
+		for _, li := range held {
+			if !li.reported {
+				li.reported = true
+				pos := pass.Fset.Position(s.Pos())
+				pass.Reportf(li.pos.Pos(),
+					"%s() is not released on every path: the return at line %d escapes while holding it; "+
+						"add defer %s()", li.call, pos.Line, li.release)
+			}
+		}
+	case *ast.BlockStmt:
+		return scanStmts(pass, s.List, held)
+	case *ast.LabeledStmt:
+		return scanStmt(pass, s.Stmt, held)
+	case *ast.IfStmt:
+		branch := scanStmts(pass, s.Body.List, copyHeld(held))
+		held = union(held, branch)
+		if s.Else != nil {
+			els := scanStmt(pass, s.Else, copyHeld(held))
+			held = union(held, els)
+		}
+	case *ast.ForStmt:
+		held = union(held, scanStmts(pass, s.Body.List, copyHeld(held)))
+	case *ast.RangeStmt:
+		held = union(held, scanStmts(pass, s.Body.List, copyHeld(held)))
+	case *ast.SwitchStmt:
+		held = scanCases(pass, s.Body, held)
+	case *ast.TypeSwitchStmt:
+		held = scanCases(pass, s.Body, held)
+	case *ast.SelectStmt:
+		held = scanCases(pass, s.Body, held)
+	}
+	return held
+}
+
+// scanCases scans each clause of a switch/select body against a copy
+// of the held set and unions the residues.
+func scanCases(pass *analysis.Pass, body *ast.BlockStmt, held map[string]*lockInfo) map[string]*lockInfo {
+	out := held
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			stmts = c.Body
+		}
+		out = union(out, scanStmts(pass, stmts, copyHeld(held)))
+	}
+	return out
+}
+
+func copyHeld(held map[string]*lockInfo) map[string]*lockInfo {
+	out := make(map[string]*lockInfo, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func union(a, b map[string]*lockInfo) map[string]*lockInfo {
+	for k, v := range b {
+		if _, ok := a[k]; !ok {
+			a[k] = v
+		}
+	}
+	return a
+}
+
+// exprKey renders a lock receiver expression to a stable string so
+// "s.mu" in two statements names the same lock. Unrecognized forms get
+// a position-unique key, which can only under-match (never conflate
+// two different locks).
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprKey(e.X)
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[" + exprKey(e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return fmt.Sprintf("expr@%d", e.Pos())
+}

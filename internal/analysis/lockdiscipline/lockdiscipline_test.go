@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"piileak/internal/analysis/analysistest"
+	"piileak/internal/analysis/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, ".", lockdiscipline.Analyzer, "a")
+}

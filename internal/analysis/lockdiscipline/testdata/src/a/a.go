@@ -1,0 +1,132 @@
+// Package a exercises lockdiscipline: lock-state copies and
+// Lock/Unlock path discipline.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+var sink int
+
+// ---- copies ----
+
+func copyParam(mu sync.Mutex) { // want `sync\.Mutex passed by value as a parameter copies its lock state; use a pointer`
+	_ = mu
+}
+
+func (c counter) copyRecv() { // want `counter \(contains sync\.Mutex\) passed by value as a receiver copies its lock state; use a pointer`
+	sink = c.n
+}
+
+func (c *counter) ptrRecv() { // a pointer receiver copies nothing
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func copyStructParam(c counter) { // want `counter \(contains sync\.Mutex\) passed by value as a parameter copies its lock state; use a pointer`
+	sink = c.n
+}
+
+func copyAssign(src counter) { // want `counter \(contains sync\.Mutex\) passed by value as a parameter copies its lock state; use a pointer`
+	dup := src // want `assignment copies counter \(contains sync\.Mutex\); lock state must not be duplicated — use a pointer`
+	sink = dup.n
+}
+
+func freshValue() {
+	var c counter // zero value and composite literals are fresh, not copies
+	d := counter{}
+	sink = c.n + d.n
+}
+
+func copyRange(cs []counter) {
+	for _, c := range cs { // want `range value copies counter \(contains sync\.Mutex\) each iteration; iterate by index or store pointers`
+		sink = c.n
+	}
+}
+
+func indexRange(cs []counter) {
+	for i := range cs {
+		sink = cs[i].n
+	}
+}
+
+func vettedCopy(mu sync.Mutex) { //lint:allow lockdiscipline fixture: suppression must hide this finding
+	_ = mu
+}
+
+// ---- lock/unlock paths ----
+
+func good(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func balanced(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func leaky(c *counter) {
+	c.mu.Lock() // want `c\.mu\.Lock\(\) is never released in this function; add defer c\.mu\.Unlock\(\)`
+	c.n++
+}
+
+func returnWhileHeld(c *counter) int {
+	c.mu.Lock() // want `c\.mu\.Lock\(\) is not released on every path: the return at line \d+ escapes while holding it; add defer c\.mu\.Unlock\(\)`
+	if c.n > 0 {
+		return c.n
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func branchBalanced(c *counter) int {
+	c.mu.Lock()
+	if c.n > 0 {
+		c.mu.Unlock()
+		return c.n
+	}
+	c.n = 1
+	c.mu.Unlock()
+	return 0
+}
+
+type table struct {
+	mu   sync.RWMutex
+	rows map[string]int
+}
+
+func readBalanced(t *table, key string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[key]
+}
+
+func readLeaky(t *table, key string) int {
+	t.mu.RLock() // want `t\.mu\.RLock\(\) is not released on every path: the return at line \d+ escapes while holding it; add defer t\.mu\.RUnlock\(\)`
+	return t.rows[key]
+}
+
+func mismatchedKinds(t *table) {
+	t.mu.RLock()  // want `t\.mu\.RLock\(\) is never released in this function; add defer t\.mu\.RUnlock\(\)`
+	t.mu.Unlock() // releases the write lock, not the read lock
+}
+
+func litScanned(c *counter) {
+	f := func() {
+		c.mu.Lock() // want `c\.mu\.Lock\(\) is never released in this function; add defer c\.mu\.Unlock\(\)`
+		c.n++
+	}
+	f()
+}
+
+func vettedHold(c *counter) {
+	c.mu.Lock() //lint:allow lockdiscipline fixture: handed off to the caller deliberately
+	c.n++
+}

@@ -7,9 +7,12 @@
 package piilog
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
+	"path"
 	"regexp"
+	"sort"
 	"strings"
 
 	"piileak/internal/analysis"
@@ -20,8 +23,28 @@ var Analyzer = &analysis.Analyzer{
 	Name: "piilog",
 	Doc: "flags persona PII (pii.Persona/pii.Field values, or identifiers " +
 		"named like email/phone/address/first_name/...) passed unredacted " +
-		"to log.*, fmt.Print*, or os.Stderr/os.Stdout writes",
-	Run: run,
+		"to log.*, fmt.Print*, or os.Stderr/os.Stdout writes. Exports " +
+		"ForwardsFact on wrapper functions that forward parameters to a " +
+		"log sink, so call sites are checked interprocedurally",
+	FactTypes: []analysis.Fact{&ForwardsFact{}},
+	Run:       run,
+}
+
+// A ForwardsFact marks a function that passes one or more of its
+// parameters, unredacted, into a log sink — directly or through
+// another forwarder. Callers must treat the function as a sink for
+// those argument positions. An allowed (//lint:allow) sink call severs
+// the fact: a vetted exception does not smear into callers.
+type ForwardsFact struct {
+	Params []int  // forwarded parameter indices, sorted
+	Sink   string // the root sink, e.g. "log.Println"
+}
+
+// AFact marks ForwardsFact as a fact type.
+func (*ForwardsFact) AFact() {}
+
+func (f *ForwardsFact) String() string {
+	return fmt.Sprintf("forwards(params %v → %s)", f.Params, f.Sink)
 }
 
 // piiPkg is the package whose types carry the persona schema.
@@ -33,6 +56,7 @@ const piiPkg = "piileak/internal/pii"
 var piiName = regexp.MustCompile(`(?i)^(e[-_]?mail(addr(ess)?)?|phone(num(ber)?|_number)?|addr(ess)?|ssn|dob|date_?of_?birth|birth_?date|(first|last|full|sur|given|family)[-_]?name)$`)
 
 func run(pass *analysis.Pass) error {
+	fwd := exportForwardFacts(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -41,6 +65,7 @@ func run(pass *analysis.Pass) error {
 			}
 			sink, args := sinkArgs(pass, call)
 			if sink == "" {
+				checkForwardingCall(pass, call, fwd)
 				return true
 			}
 			for _, arg := range args {
@@ -50,6 +75,199 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// exportForwardFacts runs the intra-package fixpoint: a package-level
+// function earns (or grows) a ForwardsFact when a parameter of its
+// reaches a log sink — or a forwarded position of another forwarder —
+// at a non-allowed position. The returned map is the same-package view
+// the report phase consults.
+func exportForwardFacts(pass *analysis.Pass) map[*types.Func]*ForwardsFact {
+	type decl struct {
+		fn     *types.Func
+		body   *ast.BlockStmt
+		params map[types.Object]int
+	}
+	var decls []decl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || analysis.ObjectKey(fn) == "" {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Params().Len() == 0 {
+				continue
+			}
+			params := map[types.Object]int{}
+			for i := 0; i < sig.Params().Len(); i++ {
+				params[sig.Params().At(i)] = i
+			}
+			decls = append(decls, decl{fn: fn, body: fd.Body, params: params})
+		}
+	}
+
+	marked := map[*types.Func]*ForwardsFact{}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			have := map[int]bool{}
+			sink := ""
+			if got := marked[d.fn]; got != nil {
+				for _, i := range got.Params {
+					have[i] = true
+				}
+				sink = got.Sink
+			}
+			grew := false
+			note := func(s string, args []ast.Expr) {
+				for _, arg := range args {
+					for _, i := range paramUses(pass, arg, d.params) {
+						if !have[i] {
+							have[i] = true
+							grew = true
+						}
+						if sink == "" {
+							sink = s
+						}
+					}
+				}
+			}
+			ast.Inspect(d.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pass.Allowed(call.Pos()) {
+					return true // vetted exception: severed
+				}
+				if s, args := sinkArgs(pass, call); s != "" {
+					note(s, args)
+					return true
+				}
+				fn := analysis.Callee(pass.TypesInfo, call)
+				if fn == nil {
+					return true
+				}
+				if fact := forwarderFact(pass, fn, marked); fact != nil {
+					for _, j := range fact.Params {
+						note(fact.Sink, forwardedArgs(fn, call, j))
+					}
+				}
+				return true
+			})
+			if grew {
+				idxs := make([]int, 0, len(have))
+				for i := range have {
+					idxs = append(idxs, i)
+				}
+				sort.Ints(idxs)
+				fact := &ForwardsFact{Params: idxs, Sink: sink}
+				marked[d.fn] = fact
+				pass.ExportObjectFact(d.fn, fact)
+				changed = true
+			}
+		}
+	}
+	return marked
+}
+
+// forwarderFact returns fn's ForwardsFact, consulting the same-package
+// fixpoint state for local functions and imported fact sets otherwise.
+func forwarderFact(pass *analysis.Pass, fn *types.Func, marked map[*types.Func]*ForwardsFact) *ForwardsFact {
+	if fn.Pkg() == pass.Pkg {
+		return marked[fn]
+	}
+	var fact ForwardsFact
+	if pass.ImportObjectFact(fn, &fact) {
+		return &fact
+	}
+	return nil
+}
+
+// forwardedArgs maps a callee's forwarded parameter index to the call's
+// argument expressions: one argument normally, the whole tail for the
+// variadic parameter.
+func forwardedArgs(fn *types.Func, call *ast.CallExpr, j int) []ast.Expr {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || j >= len(call.Args) {
+		return nil
+	}
+	if sig.Variadic() && j == sig.Params().Len()-1 {
+		return call.Args[j:]
+	}
+	return call.Args[j : j+1]
+}
+
+// paramUses lists the parameter indices (sorted) whose identifiers
+// appear in e, skipping subtrees sanitized by pii.Redact* and the safe
+// pii.Field.Type selector.
+func paramUses(pass *analysis.Pass, e ast.Expr, params map[types.Object]int) []int {
+	info := pass.TypesInfo
+	seen := map[int]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := analysis.Callee(info, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == piiPkg && strings.HasPrefix(fn.Name(), "Redact") {
+				return false
+			}
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if named(info.TypeOf(sel.X)) == "Field" && sel.Sel.Name == "Type" {
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o := info.Uses[id]; o != nil {
+				if i, ok := params[o]; ok {
+					seen[i] = true
+				}
+			}
+		}
+		return true
+	})
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// checkForwardingCall treats a call to a fact-carrying wrapper as a
+// sink for its forwarded argument positions.
+func checkForwardingCall(pass *analysis.Pass, call *ast.CallExpr, fwd map[*types.Func]*ForwardsFact) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	fact := forwarderFact(pass, fn, fwd)
+	if fact == nil {
+		return
+	}
+	sink := funcLabel(pass, fn) + " (forwards to " + fact.Sink + ")"
+	for _, j := range fact.Params {
+		for _, arg := range forwardedArgs(fn, call, j) {
+			checkArg(pass, sink, arg)
+		}
+	}
+}
+
+// funcLabel renders fn for diagnostics: "Name" or "Recv.Name" in the
+// current package, "pkg.Name" elsewhere.
+func funcLabel(pass *analysis.Pass, fn *types.Func) string {
+	name := analysis.ObjectKey(fn)
+	if name == "" {
+		name = fn.Name()
+	}
+	if fn.Pkg() == pass.Pkg {
+		return name
+	}
+	return path.Base(fn.Pkg().Path()) + "." + name
 }
 
 // sinkArgs classifies a call as a log sink and returns the payload

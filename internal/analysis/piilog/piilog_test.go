@@ -10,3 +10,10 @@ import (
 func TestPIILog(t *testing.T) {
 	analysistest.Run(t, ".", piilog.Analyzer, "a")
 }
+
+// TestCrossPackageForwarding pins the interprocedural rule end-to-end:
+// "a" exports ForwardsFact on LogLine, and package "b" (which imports
+// it) treats the wrapper as a sink.
+func TestCrossPackageForwarding(t *testing.T) {
+	analysistest.RunDeps(t, ".", piilog.Analyzer, "a", "b")
+}

@@ -12,20 +12,20 @@ import (
 	"piileak/internal/pii"
 )
 
-func namedIdentifiers(email, phone string) {
+func namedIdentifiers(email, phone string) { // want fact:`forwards\(params \[0 1\] → log\.Println\)`
 	log.Println(email)           // want `identifier email flows into log\.Println`
 	fmt.Printf("tel: %s", phone) // want `identifier phone flows into fmt\.Printf`
 	os.Stderr.WriteString(phone) // want `identifier phone flows into os\.Stderr`
 }
 
-func personaTyped(p pii.Persona) {
+func personaTyped(p pii.Persona) { // want fact:`forwards\(params \[0\] → fmt\.Println\)`
 	fmt.Println(p)                   // want `a pii\.Persona value flows into fmt\.Println`
 	fmt.Printf("%s", p.City)         // want `persona field City flows into fmt\.Printf`
 	fmt.Fprintln(os.Stderr, p.Email) // want `persona field Email flows into fmt\.Fprintln`
 	log.Printf("dob=%s", p.DOB)      // want `persona field DOB flows into log\.Printf`
 }
 
-func fieldTyped(f pii.Field) {
+func fieldTyped(f pii.Field) { // want fact:`forwards\(params \[0\] → fmt\.Println\)`
 	fmt.Println(f.Type)  // the PII kind is a safe label
 	fmt.Println(f.Value) // want `pii\.Field\.Value flows into fmt\.Println`
 }
@@ -47,5 +47,28 @@ func nonSinks(email string, w io.Writer) {
 }
 
 func suppressed(email string) {
-	log.Println(email) //lint:allow piilog fixture: suppression must hide this finding
+	log.Println(email) //lint:allow piilog fixture: suppression must hide this finding (and sever the forwarder fact)
+}
+
+// LogLine is a wrapper: piilog learns it forwards its argument to a
+// log sink, so call sites — here and in importing packages — are
+// checked interprocedurally.
+func LogLine(line string) { // want fact:`forwards\(params \[0\] → log\.Println\)`
+	log.Println(line)
+}
+
+func viaWrapper(email string, p pii.Persona) { // want fact:`forwards\(params \[0 1\] → log\.Println\)`
+	LogLine(email)   // want `identifier email flows into LogLine \(forwards to log\.Println\)`
+	LogLine(p.Email) // want `persona field Email flows into LogLine \(forwards to log\.Println\)`
+	LogLine(pii.Redact(p.Email))
+	LogLine("static banner") // a constant is not PII
+}
+
+func logAll(prefix string, vals ...any) { // want fact:`forwards\(params \[0 1\] → log\.Println\)`
+	log.Println(prefix)
+	log.Println(vals...)
+}
+
+func viaVariadic(email string) { // want fact:`forwards\(params \[0\] → log\.Println\)`
+	logAll("ctx", 1, email, 2) // want `identifier email flows into logAll \(forwards to log\.Println\)`
 }

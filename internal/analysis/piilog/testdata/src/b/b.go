@@ -1,0 +1,13 @@
+// Package b exercises piilog's cross-package facts: log wrappers
+// exported by the sibling testdata package "a" are sinks here too.
+package b
+
+import "a"
+
+func report(email string) { // want fact:`forwards\(params \[0\] → log\.Println\)`
+	a.LogLine(email) // want `identifier email flows into a\.LogLine \(forwards to log\.Println\)`
+}
+
+func banner() {
+	a.LogLine("crawl finished") // a constant is not PII
+}

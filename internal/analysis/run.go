@@ -19,42 +19,101 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Run applies every analyzer to every package, filters findings through
-// the //lint:allow index, and returns the survivors in deterministic
+// A PackageResult is the complete analysis output of one package: the
+// surviving findings (sorted), the number of diagnostics an allow
+// directive suppressed, and the exported fact set.
+type PackageResult struct {
+	PkgPath    string
+	Findings   []Finding
+	Suppressed int
+	Facts      *FactSet
+}
+
+// AnalyzePackage applies every analyzer to one package, with deps
+// supplying the fact sets of the package's dependencies. Findings are
+// filtered through the //lint:allow index and sorted.
+func AnalyzePackage(pkg *Package, analyzers []*Analyzer, deps FactReader) (*PackageResult, error) {
+	res := &PackageResult{PkgPath: pkg.PkgPath, Facts: NewFactSet(pkg.PkgPath)}
+	idx := buildAllowIndex(pkg.Fset, pkg.Syntax)
+	for _, d := range idx.malformed {
+		res.Findings = append(res.Findings, Finding{
+			Analyzer: "allow",
+			Pos:      pkg.Fset.Position(d.pos),
+			Message:  "lint:allow directive needs an analyzer name and a reason: //lint:allow <analyzer> <why this is safe>",
+		})
+	}
+	allowed := func(name string, pos token.Pos) bool {
+		return idx.suppressed(name, pkg.Fset.Position(pos))
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			PkgPath:   pkg.PkgPath,
+			TypesInfo: pkg.TypesInfo,
+			facts:     res.Facts,
+			deps:      deps,
+			allowed:   allowed,
+		}
+		pass.report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if idx.suppressed(a.Name, pos) {
+				res.Suppressed++
+				return
+			}
+			res.Findings = append(res.Findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	SortFindings(res.Findings)
+	return res, nil
+}
+
+// Run applies every analyzer to every package in slice order — facts
+// flow forward, so callers pass dependencies before dependents (the
+// parallel Driver schedules the real package DAG; this entry serves
+// analysistest and other pre-loaded-package uses). Findings are
+// filtered through the //lint:allow index and returned in deterministic
 // order (file, line, column, analyzer, message) — the suite practices
 // the ordering discipline it preaches.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		idx := buildAllowIndex(pkg.Fset, pkg.Syntax)
-		for _, d := range idx.malformed {
-			findings = append(findings, Finding{
-				Analyzer: "allow",
-				Pos:      pkg.Fset.Position(d.pos),
-				Message:  "lint:allow directive needs an analyzer name and a reason: //lint:allow <analyzer> <why this is safe>",
-			})
-		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Syntax,
-				Pkg:       pkg.Types,
-				PkgPath:   pkg.PkgPath,
-				TypesInfo: pkg.TypesInfo,
-			}
-			pass.report = func(d Diagnostic) {
-				pos := pkg.Fset.Position(d.Pos)
-				if idx.suppressed(a.Name, pos) {
-					return
-				}
-				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
-			}
-		}
+	results, err := RunPackages(pkgs, analyzers)
+	if err != nil {
+		return nil, err
 	}
+	var findings []Finding
+	for _, r := range results {
+		findings = append(findings, r.Findings...)
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// RunPackages is Run with per-package results (facts included) — the
+// form analysistest needs for `// want fact:` assertions.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]*PackageResult, error) {
+	deps := FactReader{}
+	var results []*PackageResult
+	for _, pkg := range pkgs {
+		res, err := AnalyzePackage(pkg, analyzers, deps)
+		if err != nil {
+			return nil, err
+		}
+		deps[pkg.PkgPath] = res.Facts
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// SortFindings orders findings by (file, line, column, analyzer,
+// message) — the one total order every driver path (sequential,
+// parallel, cached, vet unit) emits, which is what makes N-worker
+// output byte-identical to sequential output.
+func SortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -71,5 +130,4 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Message < b.Message
 	})
-	return findings, nil
 }

@@ -7,7 +7,10 @@ package suite
 import (
 	"piileak/internal/analysis"
 	"piileak/internal/analysis/closecheck"
+	"piileak/internal/analysis/ctxflow"
 	"piileak/internal/analysis/detrand"
+	"piileak/internal/analysis/goroleak"
+	"piileak/internal/analysis/lockdiscipline"
 	"piileak/internal/analysis/maporder"
 	"piileak/internal/analysis/obskey"
 	"piileak/internal/analysis/piilog"
@@ -17,7 +20,10 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		closecheck.Analyzer,
+		ctxflow.Analyzer,
 		detrand.Analyzer,
+		goroleak.Analyzer,
+		lockdiscipline.Analyzer,
 		maporder.Analyzer,
 		obskey.Analyzer,
 		piilog.Analyzer,

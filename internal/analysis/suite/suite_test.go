@@ -32,6 +32,38 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSequential pins the parallel driver's contract at
+// repo scale: 8-worker output over the whole module is byte-identical
+// to the sequential runner's — the sorted-findings total order, not
+// scheduling luck, decides what the user sees.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks every package in the module twice")
+	}
+	root := moduleRoot(t)
+	g, err := analysis.LoadGraph(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) string {
+		d := &analysis.Driver{Workers: workers}
+		findings, _, err := d.Run(g, suite.Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, f := range findings {
+			sb.WriteString(f.String())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	sequential := render(1)
+	if parallel := render(8); parallel != sequential {
+		t.Fatalf("8-worker output diverged from sequential:\nseq:\n%s\npar:\n%s", sequential, parallel)
+	}
+}
+
 // TestPiilintBinary builds cmd/piilint and checks both verdicts: exit 0
 // over this repo, and a file:line detrand diagnostic with exit 1 over a
 // scratch module seeded with a time.Now call.

@@ -529,6 +529,7 @@ func (c *Common) StartPprof(prog string) error {
 		return fmt.Errorf("-pprof: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "%s: pprof on http://%s/debug/pprof/\n", prog, ln.Addr()) //lint:allow piilog a TCP listen address is not persona PII
+	//lint:allow goroleak the pprof server serves for the process lifetime by design
 	go func() {
 		if err := http.Serve(ln, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: pprof server: %v\n", prog, err)
@@ -574,7 +575,9 @@ func InstallSignalHandler(prog string, cancel context.CancelFunc) {
 		fmt.Fprintf(os.Stderr, "%s: interrupted: draining workers and flushing the checkpoint (signal again to hard-exit)\n", prog)
 		cancel()
 		// Shutdown grace is genuinely wall time — a hung worker must
-		// not turn Ctrl-C into an indefinite hang.
+		// not turn Ctrl-C into an indefinite hang. It must also be
+		// detached: the caller's ctx is the one we just cancelled.
+		//lint:allow ctxflow the grace period outlives the ctx this handler cancels
 		grace, stop := context.WithTimeout(context.Background(), 30*time.Second) //lint:allow detrand CLI shutdown grace is wall time by design
 		defer stop()
 		select {

@@ -171,6 +171,7 @@ func CrawlSenders(eco *webgen.Ecosystem, profile browser.Profile) *Dataset {
 // CrawlSites crawls a chosen site subset.
 func CrawlSites(eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site) *Dataset {
 	// Without a checkpoint or cancellation the serial loop cannot fail.
+	//lint:allow ctxflow convenience API without cancellation; CrawlStream is the ctx-taking surface
 	ds, _ := crawlSerial(context.Background(), eco, profile, sites, Options{})
 	return ds
 }

@@ -18,6 +18,7 @@ import (
 //
 // workers <= 0 selects GOMAXPROCS.
 func CrawlParallel(eco *webgen.Ecosystem, profile browser.Profile, workers int) *Dataset {
+	//lint:allow ctxflow convenience API without cancellation; CrawlStream is the ctx-taking surface
 	ds, _ := crawlParallel(context.Background(), eco, profile, eco.Sites, workers, Options{})
 	return ds
 }

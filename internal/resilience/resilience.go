@@ -364,6 +364,7 @@ func NewExecutor(p Policy, clock Clock, seed uint64) *Executor {
 // Do runs op under retry/backoff and key's circuit breaker without
 // cancellation — DoContext with a background context.
 func (e *Executor) Do(key string, op func() error) error {
+	//lint:allow ctxflow Do is the documented no-cancellation wrapper over DoContext
 	return e.DoContext(context.Background(), key, op)
 }
 

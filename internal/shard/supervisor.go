@@ -346,6 +346,9 @@ func runSubprocess(ctx context.Context, cmd *exec.Cmd, ckptPath string, stall ti
 		return fmt.Errorf("shard: start worker: %w", err)
 	}
 	done := make(chan error, 1)
+	// The wait pump exits when the worker does, and every path below
+	// either reaps the worker or kills it first.
+	//lint:allow goroleak wait pump exits when the worker process is reaped or killed
 	go func() { done <- cmd.Wait() }()
 
 	var stallCh <-chan struct{}

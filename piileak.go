@@ -330,6 +330,7 @@ func (s *Study) RunContext(ctx context.Context) error {
 // replace the raw struct. RunStream survives as a thin wrapper for one
 // release.
 func (s *Study) RunStream(opts pipeline.Options) error {
+	//lint:allow ctxflow deprecated no-ctx wrapper, kept for one release
 	return s.RunStreamContext(context.Background(), opts)
 }
 
