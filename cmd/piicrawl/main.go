@@ -229,6 +229,7 @@ func workerRun(ctx context.Context, study *piileak.Study, common *cliflags.Commo
 		DetectWorkers: common.EffectiveDetectWorkers(),
 		Options:       shardCrawlerOptions(common, rt),
 		QuarantineDir: common.QuarantineDir,
+		QuarantineMax: common.QuarantineMax,
 		Checkpoint:    common.Checkpoint,
 	})
 	if err != nil {
@@ -259,6 +260,7 @@ func superviseRun(ctx context.Context, study *piileak.Study, common *cliflags.Co
 		DetectWorkers: common.EffectiveDetectWorkers(),
 		Crawl:         shardCrawlerOptions(common, rt),
 		QuarantineDir: common.QuarantineDir,
+		QuarantineMax: common.QuarantineMax,
 		MaxRestarts:   common.MaxRestarts,
 		Obs:           rt.Observer,
 		Fresh:         !common.Resume,

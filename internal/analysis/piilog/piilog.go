@@ -23,7 +23,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "piilog",
 	Doc: "flags persona PII (pii.Persona/pii.Field values, or identifiers " +
 		"named like email/phone/address/first_name/...) passed unredacted " +
-		"to log.*, fmt.Print*, or os.Stderr/os.Stdout writes. Exports " +
+		"to log.*, fmt.Print*, os.Stderr/os.Stdout writes, http.Error, or " +
+		"http.ResponseWriter writes (response bodies leave the process " +
+		"like log lines do). Exports " +
 		"ForwardsFact on wrapper functions that forward parameters to a " +
 		"log sink, so call sites are checked interprocedurally",
 	FactTypes: []analysis.Fact{&ForwardsFact{}},
@@ -290,16 +292,52 @@ func sinkArgs(pass *analysis.Pass, call *ast.CallExpr) (string, []ast.Expr) {
 				if s := stdStream(info, call.Args[0]); s != "" {
 					return "fmt." + fn.Name() + "(os." + s + ", …)", call.Args[1:]
 				}
+				if responseWriter(info, call.Args[0]) {
+					return "fmt." + fn.Name() + "(http.ResponseWriter, …)", call.Args[1:]
+				}
+			}
+		}
+	case "net/http":
+		// http.Error's message lands in the response body; only the
+		// message argument is the payload (the writer and status are not).
+		if fn.Name() == "Error" && len(call.Args) >= 2 {
+			return "http.Error", call.Args[1:2]
+		}
+	case "io":
+		if fn.Name() == "WriteString" && len(call.Args) > 0 && responseWriter(info, call.Args[0]) {
+			return "io.WriteString(http.ResponseWriter, …)", call.Args[1:]
+		}
+	}
+	// Write/WriteString directly on os.Stderr / os.Stdout, or on an
+	// http.ResponseWriter (response bodies leave the process too).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn.Name() == "Write" || fn.Name() == "WriteString" {
+			if s := stdStream(info, sel.X); s != "" {
+				return "os." + s, call.Args
+			}
+			if responseWriter(info, sel.X) {
+				return "http.ResponseWriter." + fn.Name(), call.Args
 			}
 		}
 	}
-	// Write/WriteString directly on os.Stderr / os.Stdout.
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-		if s := stdStream(info, sel.X); s != "" && (fn.Name() == "Write" || fn.Name() == "WriteString") {
-			return "os." + s, call.Args
-		}
-	}
 	return "", nil
+}
+
+// responseWriter reports whether expr is statically typed as the
+// net/http.ResponseWriter interface. Handlers hold the writer under
+// that interface type, so the static check covers the real flows
+// without chasing every concrete implementation.
+func responseWriter(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := n.Obj()
+	return o.Name() == "ResponseWriter" && o.Pkg() != nil && o.Pkg().Path() == "net/http"
 }
 
 // stdStream reports "Stderr"/"Stdout" when expr resolves to that os

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 
 	"piileak/internal/pii"
@@ -44,6 +45,16 @@ func redacted(p pii.Persona, email string) {
 func nonSinks(email string, w io.Writer) {
 	fmt.Fprintf(w, "%s", email)  // an arbitrary writer is not a log sink
 	_ = fmt.Sprintf("%s", email) // Sprint builds a value; flagged only if it later hits a sink
+}
+
+func httpSinks(w http.ResponseWriter, email string, p pii.Persona) { // want fact:`forwards\(params \[1 2\] → http\.Error\)`
+	http.Error(w, email, http.StatusBadRequest)         // want `identifier email flows into http\.Error`
+	http.Error(w, pii.Redact(email), http.StatusOK)     // redacted
+	fmt.Fprintf(w, "user %s", p.Email)                  // want `persona field Email flows into fmt\.Fprintf\(http\.ResponseWriter, …\)`
+	io.WriteString(w, p.Phone)                          // want `persona field Phone flows into io\.WriteString\(http\.ResponseWriter, …\)`
+	w.Write([]byte(email))                              // want `identifier email flows into http\.ResponseWriter\.Write`
+	fmt.Fprintf(w, "status %d", http.StatusOK)          // a constant is not PII
+	http.Error(w, "bad request", http.StatusBadRequest) // literal message, fine
 }
 
 func suppressed(email string) {

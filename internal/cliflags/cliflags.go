@@ -65,9 +65,12 @@ type Common struct {
 
 	// SiteTimeout is the per-site watchdog budget on the run's clock;
 	// QuarantineDir collects diagnostics bundles for panicked sites;
-	// Only restricts the run to a comma-separated site subset.
+	// QuarantineMax caps the bundle files kept on disk (oldest evicted
+	// first, 0 = unbounded); Only restricts the run to a comma-separated
+	// site subset.
 	SiteTimeout   time.Duration
 	QuarantineDir string
+	QuarantineMax int
 	Only          string
 
 	// Checkpoint persists per-site progress; Resume continues a killed
@@ -115,6 +118,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.IntVar(&c.Retries, "retries", 0, "max fetch attempts per request under faults (default 4)")
 	fs.DurationVar(&c.SiteTimeout, "site-timeout", 0, "per-site watchdog budget on the run's clock (0 disables)")
 	fs.StringVar(&c.QuarantineDir, "quarantine", "", "directory collecting diagnostics for panicked sites")
+	fs.IntVar(&c.QuarantineMax, "quarantine-max", 0, "max quarantine bundle files kept on disk; oldest evicted first, recorded in the manifest (0 = unbounded)")
 	fs.StringVar(&c.Only, "only", "", "comma-separated site domains to crawl (e.g. re-running quarantined sites)")
 	fs.StringVar(&c.Checkpoint, "checkpoint", "", "write per-site progress to this file")
 	fs.BoolVar(&c.Resume, "resume", false, "resume a previous run from -checkpoint")
@@ -136,6 +140,12 @@ func Register(fs *flag.FlagSet) *Common {
 func (c *Common) Validate() error {
 	if c.Faults < 0 || c.Faults > 1 {
 		return fmt.Errorf("-faults %v out of range [0, 1]", c.Faults)
+	}
+	if c.QuarantineMax < 0 {
+		return fmt.Errorf("-quarantine-max %d is negative", c.QuarantineMax)
+	}
+	if c.QuarantineMax > 0 && c.QuarantineDir == "" {
+		return fmt.Errorf("-quarantine-max needs -quarantine")
 	}
 	if c.DetectWorkers < 0 {
 		return fmt.Errorf("-detect-workers %d is negative", c.DetectWorkers)
@@ -304,6 +314,9 @@ func (c *Common) ShardWorkerArgs(shard int) []string {
 	if c.QuarantineDir != "" {
 		args = append(args, "-quarantine", c.QuarantineDir)
 	}
+	if c.QuarantineMax > 0 {
+		args = append(args, "-quarantine-max", strconv.Itoa(c.QuarantineMax))
+	}
 	return args
 }
 
@@ -335,7 +348,14 @@ func (c *Common) EcosystemConfig() webgen.Config {
 // generated shield list, which is why this takes eco rather than
 // running at flag-parse time.
 func (c *Common) ResolveProfile(eco *webgen.Ecosystem) (browser.Profile, error) {
-	switch c.Browser {
+	return ResolveBrowser(c.Browser, eco)
+}
+
+// ResolveBrowser maps a collection-browser name to its profile — the
+// single vocabulary every entry point (CLI flags, piiserve job specs)
+// resolves through, so the accepted names cannot drift apart.
+func ResolveBrowser(name string, eco *webgen.Ecosystem) (browser.Profile, error) {
+	switch name {
 	case "firefox":
 		return browser.Firefox88(), nil
 	case "chrome":
@@ -349,7 +369,7 @@ func (c *Common) ResolveProfile(eco *webgen.Ecosystem) (browser.Profile, error) 
 	case "brave":
 		return browser.Brave129(eco.BraveShields), nil
 	default:
-		return browser.Profile{}, fmt.Errorf("unknown browser %q", c.Browser)
+		return browser.Profile{}, fmt.Errorf("unknown browser %q", name)
 	}
 }
 
@@ -373,6 +393,7 @@ func (c *Common) Runtime(eco *webgen.Ecosystem) (*Runtime, error) {
 		if err != nil {
 			return nil, err
 		}
+		q.SetLimit(c.QuarantineMax)
 		rt.Quarantine = q
 	}
 	if c.Only != "" {

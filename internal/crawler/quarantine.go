@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -19,16 +20,23 @@ import (
 // in completion order and never feed back into analysis, so they carry
 // wall-context (stacks) without threatening determinism.
 type Quarantine struct {
-	mu      sync.Mutex
-	dir     string
-	suffix  string // shard label baked into every path ("" = unsharded)
-	bundles []CrashBundle
+	mu        sync.Mutex
+	dir       string
+	suffix    string // shard label baked into every path ("" = unsharded)
+	bundles   []CrashBundle
+	limit     int      // max persisted bundle files (0 = unbounded)
+	persisted []string // bundle file paths in write (eviction) order
+	evicted   int
 }
 
-// Bundle stage markers.
+// Bundle stage markers. StageEvict marks a manifest record noting that
+// an older bundle file was evicted to stay under the disk cap — the
+// manifest keeps the full crash history even when the bundle bytes are
+// gone.
 const (
 	StageCrawl  = "crawl"
 	StageDetect = "detect"
+	StageEvict  = "evict"
 )
 
 // CrashBundle is one quarantined site's diagnostics: everything needed
@@ -75,6 +83,69 @@ func (q *Quarantine) ManifestPath() string {
 	return filepath.Join(q.dir, "MANIFEST"+q.suffix+".jsonl")
 }
 
+// SetLimit caps how many bundle files this quarantine keeps on disk
+// (0 = unbounded). When a new bundle would exceed the cap, the oldest
+// persisted bundle file is deleted and the eviction is recorded in
+// MANIFEST.jsonl (a StageEvict line naming the domain), so a
+// pathological fault seed under a long-running server degrades to
+// "recent crashes keep full diagnostics, older ones keep their manifest
+// history" instead of filling the disk. The in-memory bundle list — and
+// with it Len, Sites and the end-of-run summary — still covers every
+// crashed site. Nil-receiver safe.
+func (q *Quarantine) SetLimit(n int) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	q.limit = n
+}
+
+// Evicted reports how many bundle files the disk cap has deleted.
+func (q *Quarantine) Evicted() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.evicted
+}
+
+// evictLocked deletes the oldest persisted bundle files until the disk
+// cap holds, appending one StageEvict manifest record per deletion.
+// Best-effort like every quarantine write; must be called with the lock
+// held.
+func (q *Quarantine) evictLocked() {
+	for q.limit > 0 && len(q.persisted) > q.limit {
+		oldest := q.persisted[0]
+		q.persisted = q.persisted[1:]
+		if err := os.Remove(oldest); err != nil && !os.IsNotExist(err) {
+			continue
+		}
+		q.evicted++
+		domain := strings.TrimSuffix(filepath.Base(oldest), q.suffix+".json")
+		q.appendManifestLocked(CrashBundle{Stage: StageEvict, Domain: domain})
+	}
+}
+
+// appendManifestLocked appends one record to the manifest, best-effort.
+func (q *Quarantine) appendManifestLocked(b CrashBundle) {
+	line, err := json.Marshal(b)
+	if err != nil {
+		return
+	}
+	f, err := os.OpenFile(q.ManifestPath(), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close() //lint:allow closecheck quarantine persistence is best-effort by design; the write is synced above the close
+	f.Write(append(line, '\n'))
+	f.Sync()
+}
+
 // Add records one crashed site: the bundle file is written whole
 // (atomic temp + rename) and a line is appended to the manifest. Safe
 // on a nil receiver — the no-quarantine-dir path, where the crash is
@@ -103,18 +174,10 @@ func (q *Quarantine) Add(b CrashBundle) {
 		os.Remove(tmp)
 		return
 	}
+	q.persisted = append(q.persisted, path)
 
-	line, err := json.Marshal(b)
-	if err != nil {
-		return
-	}
-	f, err := os.OpenFile(q.ManifestPath(), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
-	if err != nil {
-		return
-	}
-	defer f.Close() //lint:allow closecheck quarantine persistence is best-effort by design; the write is synced above the close
-	f.Write(append(line, '\n'))
-	f.Sync()
+	q.appendManifestLocked(b)
+	q.evictLocked()
 }
 
 // Len reports how many sites are quarantined.

@@ -114,6 +114,17 @@ const (
 	MetricShardMergedSites = "shard_merged_sites_total" // sites folded by the verified merge
 	MetricShardDigests     = "shard_digests_verified_total"
 
+	// Study service (cmd/piiserve): server-level admission and
+	// lifecycle counters, kept on the server's own Run and exported at
+	// /metrics alongside the engine build cache's hit/miss counters.
+	MetricServeSubmitted = "serve_jobs_submitted_total"
+	MetricServeRejected  = "serve_jobs_rejected_total" // by reason (saturated, draining, invalid)
+	MetricServeFinished  = "serve_jobs_finished_total" // by terminal state
+	MetricServeRequeued  = "serve_jobs_requeued_total" // drain/crash recoveries
+	MetricServeRecovered = "serve_jobs_recovered_total"
+	MetricServeWatchdog  = "serve_watchdog_timeouts_total"
+	MetricServeTorn      = "serve_store_torn_records_total"
+
 	// Per-site distributions.
 	HistSiteRecords   = "crawl_site_records"
 	HistSiteLeaks     = "detect_site_leaks"

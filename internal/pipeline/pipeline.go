@@ -100,6 +100,10 @@ type Event struct {
 	Done, Total int
 	// Site is the domain that just completed.
 	Site string
+	// Outcome is the site's crawl outcome (crawl events only) — the
+	// funnel bucket progress consumers surface without waiting for the
+	// assembled dataset.
+	Outcome string
 	// Leaks is the cumulative leak count (detect events only).
 	Leaks int
 }
@@ -255,7 +259,7 @@ func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, de
 			n := crawled
 			progressMu.Unlock()
 			if opts.Progress != nil {
-				emitEvent(Event{Stage: "crawl", Done: n, Total: total, Site: r.Crawl.Domain})
+				emitEvent(Event{Stage: "crawl", Done: n, Total: total, Site: r.Crawl.Domain, Outcome: string(r.Crawl.Outcome)})
 			}
 			return nil
 		})

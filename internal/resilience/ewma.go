@@ -1,0 +1,51 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// EWMA is an exponentially weighted moving average of durations, safe
+// for concurrent use. piiserve's admission control feeds it completed
+// job durations and serves the smoothed value as the Retry-After hint
+// when shedding load — a recency-weighted estimate that tracks the
+// current workload instead of averaging over the server's lifetime.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	value time.Duration
+	n     int
+}
+
+// NewEWMA returns an average with the given smoothing factor in (0, 1];
+// higher alpha weighs recent samples more. Out-of-range values clamp to
+// the conventional 0.3.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Record folds one sample in. The first sample seeds the average.
+func (e *EWMA) Record(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		e.value = d
+	} else {
+		e.value = time.Duration(e.alpha*float64(d) + (1-e.alpha)*float64(e.value))
+	}
+	e.n++
+}
+
+// Value returns the current average; ok is false until the first
+// sample lands.
+func (e *EWMA) Value() (d time.Duration, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value, e.n > 0
+}

@@ -1,0 +1,210 @@
+// Package serve is the study as a long-running, multi-tenant service:
+// an HTTP API wrapping Study.Run(ctx, ...RunOption) behind a durable
+// job queue. The design is crash-only end to end — the server inherits
+// every guarantee the runtime already has (per-job checkpoints,
+// torn-tail-tolerant resume, watchdogs) and adds the server-side ones
+// it needs:
+//
+//   - a durable JSONL-backed job store (an append-only WAL with the
+//     same torn-tail tolerance as the crawl checkpoint format): kill -9
+//     the server mid-study, restart it, and queued jobs re-enqueue while
+//     running jobs resume from their per-job checkpoint to byte-identical
+//     results;
+//   - a bounded worker pool with admission control: a fixed number of
+//     concurrent study slots and a bounded queue, with saturated
+//     submissions refused as 429 + Retry-After instead of accepted into
+//     an unbounded backlog that OOMs the process;
+//   - graceful drain: the first SIGTERM stops admission, cancels
+//     in-flight jobs between sites (their checkpoints stay valid
+//     prefixes), re-queues them durably and exits 0 with everything
+//     resumable — the same contract piicrawl's signal handler keeps;
+//   - multi-tenant sharing of immutable detection state: two jobs with
+//     the same persona and candidate config compile one automaton,
+//     through the process-wide engine build cache (internal/detect).
+//
+// Progress streams as SSE (or JSONL) with Last-Event-ID resume, fed by
+// the pipeline's progress events and the internal/obs span/metrics
+// layer. Results — the leak dataset and the paper's Tables 1, 2 and 4 —
+// are byte-identical to the same spec run via piicrawl -stream.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"piileak"
+	"piileak/internal/faultsim"
+)
+
+// State is a job's lifecycle position. The durable transitions are
+//
+//	queued → running → done | failed | cancelled
+//	running → queued            (drain, crash recovery)
+//
+// done, failed and cancelled are terminal; a running job found in the
+// WAL on restart was interrupted by a crash and re-enters the queue
+// with its checkpoint intact.
+type State string
+
+// Job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Spec is one study submission: the same study-shaping surface the
+// piicrawl flags expose, as a JSON document. The zero value of each
+// field selects the CLI default, so {"seed":7,"small":true} is a
+// complete spec.
+type Spec struct {
+	// Seed is the ecosystem seed (0 selects the paper's 2021).
+	Seed uint64 `json:"seed"`
+	// Small selects the scaled-down ecosystem.
+	Small bool `json:"small,omitempty"`
+	// Browser names the collection profile (firefox, chrome, opera,
+	// safari, firefox-etp, brave); empty means firefox.
+	Browser string `json:"browser,omitempty"`
+	// Workers/DetectWorkers parallelize the two pipeline stages.
+	Workers       int `json:"workers,omitempty"`
+	DetectWorkers int `json:"detect_workers,omitempty"`
+	// Faults opts the run into deterministic fault injection at this
+	// host fraction; FaultSeed overrides the injection seed; Retries
+	// caps fetch attempts under faults.
+	Faults    float64 `json:"faults,omitempty"`
+	FaultSeed uint64  `json:"fault_seed,omitempty"`
+	Retries   int     `json:"retries,omitempty"`
+	// SiteTimeout is the per-site watchdog budget as a Go duration
+	// string ("30s"); empty disables the watchdog.
+	SiteTimeout string `json:"site_timeout,omitempty"`
+	// Only restricts the run to a site subset (domains).
+	Only []string `json:"only,omitempty"`
+}
+
+// knownBrowsers is the accepted -browser vocabulary, mirrored from the
+// CLI flag surface.
+var knownBrowsers = map[string]bool{
+	"": true, "firefox": true, "chrome": true, "opera": true,
+	"safari": true, "firefox-etp": true, "brave": true,
+}
+
+// Validate rejects contradictory or out-of-range specs before any
+// ecosystem generation happens — the admission path must stay cheap.
+func (sp *Spec) Validate() error {
+	if sp.Faults < 0 || sp.Faults > 1 {
+		return fmt.Errorf("faults %v out of range [0, 1]", sp.Faults)
+	}
+	if sp.Workers < 0 || sp.DetectWorkers < 0 {
+		return fmt.Errorf("negative worker counts")
+	}
+	if sp.Retries < 0 {
+		return fmt.Errorf("negative retries")
+	}
+	if !knownBrowsers[sp.Browser] {
+		names := make([]string, 0, len(knownBrowsers)-1)
+		for n := range knownBrowsers {
+			if n != "" {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		return fmt.Errorf("unknown browser %q (want one of %s)", sp.Browser, strings.Join(names, ", "))
+	}
+	if _, err := sp.siteTimeout(); err != nil {
+		return err
+	}
+	for _, d := range sp.Only {
+		if strings.TrimSpace(d) == "" {
+			return fmt.Errorf("only: empty site domain")
+		}
+	}
+	return nil
+}
+
+// siteTimeout parses the per-site watchdog budget.
+func (sp *Spec) siteTimeout() (time.Duration, error) {
+	if sp.SiteTimeout == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(sp.SiteTimeout)
+	if err != nil {
+		return 0, fmt.Errorf("site_timeout: %v", err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("site_timeout %v is negative", d)
+	}
+	return d, nil
+}
+
+// StudyConfig builds the piileak configuration the spec describes,
+// exactly as the piicrawl flag surface would.
+func (sp *Spec) StudyConfig() piileak.Config {
+	seed := sp.Seed
+	if seed == 0 {
+		seed = 2021
+	}
+	cfg := piileak.DefaultConfig()
+	if sp.Small {
+		cfg = piileak.SmallConfig(seed)
+	}
+	cfg.Ecosystem.Seed = seed
+	cfg.Workers = sp.Workers
+	if sp.Faults > 0 {
+		cfg.Ecosystem.Faults = &faultsim.Config{Seed: sp.FaultSeed, Rate: sp.Faults}
+	}
+	return cfg
+}
+
+// Job is one submitted study: the durable fields the WAL persists plus
+// the in-memory runtime state the server attaches while it owns the
+// job. Durable fields are only mutated through the Store so every
+// transition hits the WAL before it is observable.
+type Job struct {
+	// ID is the store-assigned identifier (j1, j2, ... in submit order).
+	ID string `json:"id"`
+	// Seq is the submit sequence number backing the ID; queue order is
+	// ascending Seq.
+	Seq int `json:"seq"`
+	// Spec is the submitted study description.
+	Spec Spec `json:"spec"`
+	// State is the durable lifecycle position.
+	State State `json:"state"`
+	// Error carries the terminal failure reason (failed jobs).
+	Error string `json:"error,omitempty"`
+	// Attempts counts run starts, including resumed ones.
+	Attempts int `json:"attempts,omitempty"`
+	// Resumes counts crash/drain recoveries: how many times the job
+	// went running → queued with its checkpoint intact.
+	Resumes int `json:"resumes,omitempty"`
+}
+
+// JobView is the API's status rendering of a job.
+type JobView struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Error    string `json:"error,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Resumes  int    `json:"resumes,omitempty"`
+	Spec     Spec   `json:"spec"`
+}
+
+// View renders the job for the status API.
+func (j *Job) View() JobView {
+	return JobView{
+		ID:       j.ID,
+		State:    j.State,
+		Error:    j.Error,
+		Attempts: j.Attempts,
+		Resumes:  j.Resumes,
+		Spec:     j.Spec,
+	}
+}

@@ -56,6 +56,11 @@ type MissingShard struct {
 	Attempts int      `json:"attempts,omitempty"`
 	Error    string   `json:"error,omitempty"`
 	Sites    []string `json:"sites"`
+	// StderrTail is the last ~20 stderr lines of the final failed
+	// attempt's re-execed worker — the dying words a bare exit status
+	// loses. In-process workers have no separate stderr, so it is only
+	// populated in subprocess mode.
+	StderrTail []string `json:"stderr_tail,omitempty"`
 }
 
 // ReportPath is the merge report's location under a shard directory.

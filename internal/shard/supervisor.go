@@ -40,8 +40,10 @@ type Options struct {
 	// shard fields are owned by the runtime and overwritten per worker.
 	Crawl crawler.Options
 	// QuarantineDir, when set, collects crash bundles shard-unique under
-	// one shared directory.
+	// one shared directory; QuarantineMax caps each worker's persisted
+	// bundle files (oldest evicted first, 0 = unbounded).
 	QuarantineDir string
+	QuarantineMax int
 	// MaxRestarts caps how many times a dead or stalled shard is
 	// restarted before it is declared missing; < 0 means never restart,
 	// 0 selects the default (2).
@@ -112,6 +114,9 @@ type shardOutcome struct {
 	restarts int
 	stalls   int
 	err      error // terminal error when result == nil
+	// stderrTail holds the last failed subprocess attempt's trailing
+	// stderr lines for the missing-shard report.
+	stderrTail []string
 }
 
 // Supervise runs a complete sharded study: plan, run every shard under
@@ -207,6 +212,7 @@ func Supervise(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profi
 		if e := outcomes[m.Shard].err; e != nil {
 			m.Error = e.Error()
 		}
+		m.StderrTail = outcomes[m.Shard].stderrTail
 	}
 	if err := WriteReport(opts.Dir, report); err != nil {
 		return nil, nil, err
@@ -329,6 +335,7 @@ func runAttempt(ctx context.Context, eco *webgen.Ecosystem, profile browser.Prof
 		Buffer:        opts.Buffer,
 		Options:       crawlOpts,
 		QuarantineDir: opts.QuarantineDir,
+		QuarantineMax: opts.QuarantineMax,
 	})
 	return err
 }
@@ -342,6 +349,12 @@ func runSubprocess(ctx context.Context, cmd *exec.Cmd, ckptPath string, stall ti
 	if cmd == nil {
 		return fmt.Errorf("shard: subprocess mode produced no command")
 	}
+	// Tee the worker's stderr through a line tail so a terminal failure
+	// reports the process's last words, not just its exit status. The
+	// tail from the final failed attempt lands in report.json's
+	// missing-shard entry.
+	tail := newTailWriter(cmd.Stderr, stderrTailLines)
+	cmd.Stderr = tail
 	if err := cmd.Start(); err != nil {
 		return fmt.Errorf("shard: start worker: %w", err)
 	}
@@ -389,6 +402,7 @@ func runSubprocess(ctx context.Context, cmd *exec.Cmd, ckptPath string, stall ti
 	select {
 	case err := <-done:
 		if err != nil {
+			out.stderrTail = tail.Tail()
 			return fmt.Errorf("shard: worker exited: %w", err)
 		}
 		return nil
@@ -396,6 +410,7 @@ func runSubprocess(ctx context.Context, cmd *exec.Cmd, ckptPath string, stall ti
 		out.stalls++
 		cmd.Process.Kill()
 		<-done
+		out.stderrTail = tail.Tail()
 		return fmt.Errorf("shard: worker stalled (checkpoint idle for %v); killed", stall)
 	case <-ctx.Done():
 		cmd.Process.Kill()

@@ -335,6 +335,43 @@ func TestSuperviseStallWatchdog(t *testing.T) {
 	}
 }
 
+// TestSuperviseMissingShardCarriesStderrTail: a re-execed worker that
+// dies terminally leaves its last stderr lines in the report's
+// missing-shard entry — the dying words an exit status alone loses.
+func TestSuperviseMissingShardCarriesStderrTail(t *testing.T) {
+	eco, profile, det, _ := fixture(t)
+	dir := t.TempDir()
+	opts := superviseOpts(dir, 2)
+	opts.MaxRestarts = -1 // one attempt per shard: that attempt's tail is final
+	opts.Command = func(shard int) *exec.Cmd {
+		script := fmt.Sprintf("echo boot shard %d >&2; echo 'panic: synthetic crash' >&2; exit 3", shard)
+		return exec.Command("sh", "-c", script)
+	}
+
+	_, report, err := Supervise(context.Background(), eco, profile, det, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Partial || len(report.Missing) != 2 {
+		t.Fatalf("crashed run = %+v, want both shards missing", report)
+	}
+	for _, m := range report.Missing {
+		want := []string{fmt.Sprintf("boot shard %d", m.Shard), "panic: synthetic crash"}
+		if !reflect.DeepEqual(m.StderrTail, want) {
+			t.Errorf("shard %d stderr tail = %q, want %q", m.Shard, m.StderrTail, want)
+		}
+	}
+
+	// The tail survives the on-disk report round trip.
+	onDisk, err := ReadReport(ReportPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(onDisk.Missing, report.Missing) {
+		t.Errorf("persisted missing entries diverge:\n%+v\n%+v", onDisk.Missing, report.Missing)
+	}
+}
+
 // TestReportRoundTrip: the report survives disk verbatim and a wrong
 // schema is refused.
 func TestReportRoundTrip(t *testing.T) {

@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"io"
+	"strings"
+	"sync"
+)
+
+// stderrTailLines is how many trailing stderr lines a re-execed
+// worker's tailWriter retains for the missing-shard report.
+const stderrTailLines = 20
+
+// tailWriter tees writes through to dst (when non-nil) while retaining
+// the last few complete lines, so a terminally-failed worker's report
+// entry carries its dying words instead of only an exit status. Safe
+// for the concurrent writes an exec pipe performs.
+type tailWriter struct {
+	mu      sync.Mutex
+	dst     io.Writer
+	max     int
+	lines   []string
+	partial strings.Builder
+}
+
+// newTailWriter wraps dst (nil = capture only) keeping max lines.
+func newTailWriter(dst io.Writer, max int) *tailWriter {
+	if max < 1 {
+		max = 1
+	}
+	return &tailWriter{dst: dst, max: max}
+}
+
+// Write implements io.Writer. The pass-through write happens first so a
+// capture bug can never eat worker output; line accounting errors are
+// impossible (the ring just rolls).
+func (t *tailWriter) Write(p []byte) (int, error) {
+	n, err := len(p), error(nil)
+	if t.dst != nil {
+		n, err = t.dst.Write(p)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, b := range p {
+		if b == '\n' {
+			t.lines = append(t.lines, t.partial.String())
+			t.partial.Reset()
+			if len(t.lines) > t.max {
+				t.lines = t.lines[1:]
+			}
+			continue
+		}
+		t.partial.WriteByte(b)
+	}
+	return n, err
+}
+
+// Tail returns the retained lines, including a trailing unterminated
+// line (a crash rarely ends in a newline).
+func (t *tailWriter) Tail() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := append([]string(nil), t.lines...)
+	if t.partial.Len() > 0 {
+		out = append(out, t.partial.String())
+		if len(out) > t.max {
+			out = out[1:]
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestTailWriterKeepsLastLines(t *testing.T) {
+	var dst bytes.Buffer
+	w := newTailWriter(&dst, 3)
+	for i := 1; i <= 5; i++ {
+		fmt.Fprintf(w, "line %d\n", i)
+	}
+	if got, want := w.Tail(), []string{"line 3", "line 4", "line 5"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Tail() = %v, want %v", got, want)
+	}
+	// Pass-through is verbatim: capture never eats output.
+	if dst.String() != "line 1\nline 2\nline 3\nline 4\nline 5\n" {
+		t.Errorf("pass-through = %q", dst.String())
+	}
+}
+
+func TestTailWriterKeepsUnterminatedPartial(t *testing.T) {
+	w := newTailWriter(nil, 2)
+	w.Write([]byte("ok line\npanic: blew "))
+	w.Write([]byte("up mid-write"))
+	if got, want := w.Tail(), []string{"ok line", "panic: blew up mid-write"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Tail() = %v, want %v", got, want)
+	}
+	// The partial counts against the cap: a long dying line still fits.
+	w2 := newTailWriter(nil, 1)
+	w2.Write([]byte("first\nsecond\ntrailing partial"))
+	if got, want := w2.Tail(), []string{"trailing partial"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("capped Tail() = %v, want %v", got, want)
+	}
+}
+
+func TestTailWriterSplitAcrossWrites(t *testing.T) {
+	w := newTailWriter(nil, 4)
+	for _, chunk := range []string{"ab", "c\nde", "f\n"} {
+		w.Write([]byte(chunk))
+	}
+	if got, want := w.Tail(), []string{"abc", "def"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Tail() = %v, want %v", got, want)
+	}
+}

@@ -28,8 +28,11 @@ type WorkerConfig struct {
 	// Quarantine are owned by the worker and overwritten.
 	Options crawler.Options
 	// QuarantineDir, when set, collects crash bundles under shard-unique
-	// paths so K workers can share the directory.
+	// paths so K workers can share the directory. QuarantineMax caps the
+	// bundle files this worker keeps on disk (oldest evicted first, 0 =
+	// unbounded).
 	QuarantineDir string
+	QuarantineMax int
 	// Checkpoint overrides the shard's derived checkpoint path; "" uses
 	// CheckpointPath(Dir, Shard, Shards). The header's shard label is
 	// stamped either way, so a foreign checkpoint is refused, not
@@ -118,6 +121,7 @@ func RunWorker(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profi
 		if err != nil {
 			return "", err
 		}
+		q.SetLimit(cfg.QuarantineMax)
 		opts.Quarantine = q
 	}
 

@@ -1,0 +1,345 @@
+package piileak_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The piiserve end-to-end tests drive the built binary over real HTTP
+// and real signals, pinning the service's three headline contracts:
+//
+//   - byte-identity across the API boundary: a job's served leaks match
+//     `piicrawl -stream` for the same spec, byte for byte;
+//   - crash-only recovery: kill -9 mid-study, restart, and the job
+//     resumes from its checkpoint to the same bytes;
+//   - graceful drain: SIGTERM mid-study exits 0 with the job durably
+//     re-queued, and a restart completes it;
+//   - admission control: a saturated queue refuses with 429 +
+//     Retry-After instead of buffering without bound.
+
+// buildServeBinaries compiles piiserve and piicrawl into dir.
+func buildServeBinaries(t *testing.T, dir string) (serveBin, crawlBin string) {
+	t.Helper()
+	serveBin = filepath.Join(dir, "piiserve")
+	crawlBin = filepath.Join(dir, "piicrawl")
+	for bin, pkg := range map[string]string{serveBin: "./cmd/piiserve", crawlBin: "./cmd/piicrawl"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return serveBin, crawlBin
+}
+
+// referenceLeaks runs piicrawl -stream for the e2e spec and returns the
+// leak bytes the service must reproduce.
+func referenceLeaks(t *testing.T, crawlBin, dir string) []byte {
+	t.Helper()
+	ref := filepath.Join(dir, "ref-leaks.json")
+	if out, err := exec.Command(crawlBin, "-small", "-seed", "7", "-stream", "-o", ref).CombinedOutput(); err != nil {
+		t.Fatalf("reference piicrawl run: %v\n%s", err, out)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+var listenRe = regexp.MustCompile(`serving on http://([^ ]+)`)
+
+// serverProc is one running piiserve process under test.
+type serverProc struct {
+	cmd    *exec.Cmd
+	base   string // http://host:port
+	stderr *lockedBuffer
+	done   chan error
+}
+
+type lockedBuffer struct {
+	mu  chan struct{}
+	buf bytes.Buffer
+}
+
+func newLockedBuffer() *lockedBuffer {
+	b := &lockedBuffer{mu: make(chan struct{}, 1)}
+	b.mu <- struct{}{}
+	return b
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	<-b.mu
+	defer func() { b.mu <- struct{}{} }()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	<-b.mu
+	defer func() { b.mu <- struct{}{} }()
+	return b.buf.String()
+}
+
+// startServer launches piiserve on an ephemeral port and waits for its
+// listen line; extra args append to the baseline flag set.
+func startServer(t *testing.T, bin, state string, extra ...string) *serverProc {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-state", state}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &serverProc{cmd: cmd, stderr: newLockedBuffer(), done: make(chan error, 1)}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderrPipe)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(p.stderr, line)
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	go func() { p.done <- cmd.Wait() }()
+	select {
+	case addr := <-addrc:
+		p.base = "http://" + addr
+	case err := <-p.done:
+		t.Fatalf("piiserve exited before listening: %v\n%s", err, p.stderr.String())
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("piiserve never reported its listen address\n%s", p.stderr.String())
+	}
+	return p
+}
+
+func (p *serverProc) kill() {
+	p.cmd.Process.Kill()
+	<-p.done
+}
+
+// submitJob posts the e2e spec and returns the job ID.
+func submitJob(t *testing.T, base, spec string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated || view.ID == "" {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, view)
+	}
+	return view.ID
+}
+
+// waitCheckpoint blocks until the job's crawl checkpoint holds at least
+// n lines — the mid-study moment the crash and drain arms need — or the
+// job is already done (fast machines), returning false in that case.
+func waitCheckpoint(t *testing.T, base, state, id string, n int) bool {
+	t.Helper()
+	ckpt := filepath.Join(state, "jobs", id, "checkpoint.jsonl")
+	for deadline := time.Now().Add(60 * time.Second); time.Now().Before(deadline); {
+		if data, err := os.ReadFile(ckpt); err == nil && bytes.Count(data, []byte("\n")) >= n {
+			return true
+		}
+		if jobState(t, base, id) == "done" {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s checkpoint never reached %d lines", id, n)
+	return false
+}
+
+func jobState(t *testing.T, base, id string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return "" // the server may be mid-restart
+	}
+	defer resp.Body.Close()
+	var view struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return ""
+	}
+	if view.State == "failed" {
+		t.Fatalf("job %s failed: %s", id, view.Error)
+	}
+	return view.State
+}
+
+// waitDone polls the job until it is done.
+func waitDone(t *testing.T, base, id string) {
+	t.Helper()
+	for deadline := time.Now().Add(120 * time.Second); time.Now().Before(deadline); {
+		if jobState(t, base, id) == "done" {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never completed", id)
+}
+
+func fetch(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+const e2eSpec = `{"seed":7,"small":true}`
+
+// TestPiiserveKill9RestartByteIdentity is the acceptance pin: kill -9
+// the service mid-study, restart it over the same state directory, and
+// the recovered job completes to leak bytes identical to piicrawl's.
+func TestPiiserveKill9RestartByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal delivery")
+	}
+	dir := t.TempDir()
+	serveBin, crawlBin := buildServeBinaries(t, dir)
+	want := referenceLeaks(t, crawlBin, dir)
+
+	state := filepath.Join(dir, "state")
+	p := startServer(t, serveBin, state)
+	id := submitJob(t, p.base, e2eSpec)
+	midStudy := waitCheckpoint(t, p.base, state, id, 3)
+	// SIGKILL: no drain, no checkpoint flush beyond what is already
+	// fsynced. This is the crash-only worst case.
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-p.done
+	if !midStudy {
+		t.Log("study finished before the kill; recovery covers the full checkpoint")
+	}
+
+	p2 := startServer(t, serveBin, state)
+	defer p2.kill()
+	waitDone(t, p2.base, id)
+	if midStudy && !strings.Contains(p2.stderr.String(), "recovered") {
+		t.Errorf("restarted server did not report recovery:\n%s", p2.stderr.String())
+	}
+	got := fetch(t, p2.base+"/v1/jobs/"+id+"/leaks")
+	if !bytes.Equal(got, want) {
+		t.Errorf("post-crash leaks differ from piicrawl -stream (%d vs %d bytes)", len(got), len(want))
+	}
+	// The tables must be served and non-empty; their byte-identity to
+	// the library renderers is pinned in internal/serve's tests.
+	for _, n := range []string{"1", "2", "4"} {
+		if len(fetch(t, p2.base+"/v1/jobs/"+id+"/tables/"+n)) == 0 {
+			t.Errorf("table %s is empty", n)
+		}
+	}
+}
+
+// TestPiiserveSIGTERMDrainsAndResumes pins the graceful half: SIGTERM
+// mid-study exits 0 with the job re-queued, and a restarted server
+// completes it to the same bytes.
+func TestPiiserveSIGTERMDrainsAndResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal delivery")
+	}
+	dir := t.TempDir()
+	serveBin, crawlBin := buildServeBinaries(t, dir)
+	want := referenceLeaks(t, crawlBin, dir)
+
+	state := filepath.Join(dir, "state")
+	p := startServer(t, serveBin, state)
+	id := submitJob(t, p.base, e2eSpec)
+	midStudy := waitCheckpoint(t, p.base, state, id, 3)
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-p.done; err != nil {
+		t.Fatalf("drained piiserve exited non-zero: %v\n%s", err, p.stderr.String())
+	}
+	if midStudy && !strings.Contains(p.stderr.String(), "draining") {
+		t.Errorf("drain message missing from stderr:\n%s", p.stderr.String())
+	}
+
+	p2 := startServer(t, serveBin, state)
+	defer p2.kill()
+	waitDone(t, p2.base, id)
+	got := fetch(t, p2.base+"/v1/jobs/"+id+"/leaks")
+	if !bytes.Equal(got, want) {
+		t.Errorf("post-drain leaks differ from piicrawl -stream (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestPiiserveSaturationSheds429 pins admission control on the real
+// binary: with one slot and a one-deep queue, a burst of submissions is
+// refused with 429 + Retry-After.
+func TestPiiserveSaturationSheds429(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	serveBin, _ := buildServeBinaries(t, dir)
+	p := startServer(t, serveBin, filepath.Join(dir, "state"), "-slots", "1", "-queue-depth", "1")
+	defer p.kill()
+
+	saw429 := false
+	for i := 0; i < 4 && !saw429; i++ {
+		resp, err := http.Post(p.base+"/v1/jobs", "application/json", strings.NewReader(e2eSpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			saw429 = true
+			if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+				t.Errorf("429 Retry-After = %q, want a positive whole-seconds hint", ra)
+			}
+		} else if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if !saw429 {
+		t.Fatal("four burst submissions against slots=1 queue-depth=1 never saturated")
+	}
+}

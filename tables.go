@@ -1,0 +1,39 @@
+package piileak
+
+import (
+	"piileak/internal/report"
+)
+
+// Table1 renders the paper's Table 1 — the §4.2 leak breakdowns by
+// method (1a), encoding/hashing (1b) and PII type (1c) — as the text
+// panels the CLIs print. The rendering is a pure function of the
+// study's analysis, so two runs with identical leak output produce
+// byte-identical tables; piiserve pins its API results against this.
+func (s *Study) Table1() (string, error) {
+	if err := s.mustRun(); err != nil {
+		return "", err
+	}
+	a := s.Analysis
+	senders, receivers := len(a.Senders), len(a.Receivers)
+	return report.Breakdown("Table 1a — by method", a.ByMethod(), senders, receivers) + "\n" +
+		report.Breakdown("Table 1b — by encoding/hashing", a.ByEncoding(), senders, receivers) + "\n" +
+		report.Breakdown("Table 1c — by PII type", a.ByPIIType(), senders, receivers), nil
+}
+
+// Table2 renders the §5.2 persistent-tracking provider table.
+func (s *Study) Table2() (string, error) {
+	cls, err := s.Tracking()
+	if err != nil {
+		return "", err
+	}
+	return report.Table2(cls.Trackers), nil
+}
+
+// Table4 renders the §7.2 blocklist evaluation table.
+func (s *Study) Table4() (string, error) {
+	t4, err := s.EvaluateBlocklists()
+	if err != nil {
+		return "", err
+	}
+	return report.Table4(t4), nil
+}
