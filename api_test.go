@@ -11,6 +11,7 @@ import (
 	"piileak/internal/obs"
 	"piileak/internal/pipeline"
 	"piileak/internal/resilience"
+	"piileak/internal/site"
 )
 
 // TestRunOptionDefaults pins every RunOption's default against the
@@ -56,6 +57,10 @@ func TestRunOptionDefaults(t *testing.T) {
 			func(rc runConfig) any { return rc.opts.Quarantine }},
 		{"WithSites", WithSites(nil), 0, 0,
 			func(rc runConfig) any { return len(rc.opts.Sites) }},
+		{"WithSource", WithSource(site.Slice(nil)), false, true,
+			func(rc runConfig) any { return rc.opts.Source != nil }},
+		{"WithUniverse", WithUniverse(100_000), 0, 100_000,
+			func(rc runConfig) any { return rc.universe }},
 		{"WithFaults", WithFaults(inj), (*faultsim.Injector)(nil), inj,
 			func(rc runConfig) any { return rc.opts.Faults }},
 		{"WithRetryPolicy", WithRetryPolicy(pol), resilience.Policy{}, pol,

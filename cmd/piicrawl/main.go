@@ -5,7 +5,7 @@
 // Usage:
 //
 //	piicrawl [-seed N] [-small] [-browser firefox|chrome|brave] [-o dataset.json]
-//	         [-workers N] [-funnel] [-stream] [-only domains]
+//	         [-universe N] [-workers N] [-funnel] [-stream] [-only domains]
 //	         [-faults RATE] [-fault-seed N] [-retries N]
 //	         [-site-timeout D] [-quarantine dir]
 //	         [-checkpoint file] [-resume]
@@ -214,7 +214,7 @@ func workerRun(ctx context.Context, study *piileak.Study, common *cliflags.Commo
 		o.SetInfo(obs.RunInfo{
 			EcoSeed:      study.Eco.Config.Seed,
 			Browser:      study.Config.Browser.Name + " " + study.Config.Browser.Version,
-			Sites:        (len(study.Eco.Sites) + shardN - 1 - shardIdx) / shardN,
+			Sites:        (study.Eco.Universe().Len() + shardN - 1 - shardIdx) / shardN,
 			CrawlWorkers: common.Workers,
 			Streamed:     true,
 			Shards:       shardN,

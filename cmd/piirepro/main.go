@@ -71,7 +71,7 @@ func main() {
 	cliflags.InstallSignalHandler(prog, cancel)
 
 	fmt.Fprintf(os.Stderr, "piirepro: crawling %d candidate sites with %s...\n",
-		len(study.Eco.Sites), profile.Name)
+		study.Eco.Universe().Len(), profile.Name)
 	var progress func(piileak.Event)
 	if common.Stream {
 		progress = cliflags.ProgressPrinter(prog, os.Stderr)

@@ -45,6 +45,11 @@ type Common struct {
 	Small bool
 	// Browser names the collection profile (see ResolveProfile).
 	Browser string
+	// Universe extends the study to that many total sites: the
+	// calibrated study core stays byte-identical and the rest is a
+	// lazily generated ranked tail, derived per site from (seed, rank).
+	// 0 runs the study core alone.
+	Universe int
 	// Workers parallelizes the crawl (and, streamed, detection); 0 is
 	// serial.
 	Workers int
@@ -110,6 +115,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.Uint64Var(&c.Seed, "seed", 2021, "ecosystem seed")
 	fs.BoolVar(&c.Small, "small", false, "use the scaled-down ecosystem")
 	fs.StringVar(&c.Browser, "browser", "firefox", "collection browser: firefox, chrome, opera, safari, firefox-etp, brave")
+	fs.IntVar(&c.Universe, "universe", 0, "extend the study to N total sites with a lazily generated ranked tail (0 = study core only)")
 	fs.IntVar(&c.Workers, "workers", 0, "parallel crawl workers (0 = serial)")
 	fs.IntVar(&c.DetectWorkers, "detect-workers", 0, "parallel detection workers (0 = follow -workers)")
 	fs.BoolVar(&c.Stream, "stream", false, "fuse crawl+detect: stream captures through detection, release records after scanning")
@@ -149,6 +155,17 @@ func (c *Common) Validate() error {
 	}
 	if c.DetectWorkers < 0 {
 		return fmt.Errorf("-detect-workers %d is negative", c.DetectWorkers)
+	}
+	if c.Universe < 0 {
+		return fmt.Errorf("-universe %d is negative", c.Universe)
+	}
+	if c.Universe > 0 {
+		if core := c.StudyConfig().Ecosystem.ShoppingSites; c.Universe < core {
+			return fmt.Errorf("-universe %d is smaller than the %d-site study core", c.Universe, core)
+		}
+		if c.Only != "" {
+			return fmt.Errorf("-universe and -only are contradictory: -only selects from the study core")
+		}
 	}
 	// Sharded runs keep their checkpoints under -shard-dir, so -resume
 	// stands alone there; everywhere else it needs -checkpoint.
@@ -293,6 +310,9 @@ func (c *Common) ShardWorkerArgs(shard int) []string {
 	if c.Small {
 		args = append(args, "-small")
 	}
+	if c.Universe > 0 {
+		args = append(args, "-universe", strconv.Itoa(c.Universe))
+	}
 	if c.Workers != 0 {
 		args = append(args, "-workers", strconv.Itoa(c.Workers))
 	}
@@ -330,6 +350,7 @@ func (c *Common) StudyConfig() piileak.Config {
 		cfg = piileak.SmallConfig(c.Seed)
 	}
 	cfg.Ecosystem.Seed = c.Seed
+	cfg.Ecosystem.UniverseSize = c.Universe
 	cfg.Workers = c.Workers
 	if c.Faults > 0 {
 		cfg.Ecosystem.Faults = &faultsim.Config{Seed: c.FaultSeed, Rate: c.Faults}

@@ -215,11 +215,14 @@ func (c *Checkpoint) TornRecords() int {
 }
 
 // lookup returns a completed site's entry. Safe on a nil receiver — the
-// no-checkpoint crawl path.
+// no-checkpoint crawl path — and for concurrent use: the streaming
+// feeder looks sites up while workers Append freshly crawled ones.
 func (c *Checkpoint) lookup(domain string) (crawlEntry, bool) {
 	if c == nil {
 		return crawlEntry{}, false
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.entries[domain]
 	return e, ok
 }

@@ -19,7 +19,7 @@ import (
 // workers <= 0 selects GOMAXPROCS.
 func CrawlParallel(eco *webgen.Ecosystem, profile browser.Profile, workers int) *Dataset {
 	//lint:allow ctxflow convenience API without cancellation; CrawlStream is the ctx-taking surface
-	ds, _ := crawlParallel(context.Background(), eco, profile, eco.Sites, workers, Options{})
+	ds, _ := crawlParallel(context.Background(), eco, profile, eco.Universe(), workers, Options{})
 	return ds
 }
 
@@ -28,12 +28,12 @@ func CrawlParallel(eco *webgen.Ecosystem, profile browser.Profile, workers int) 
 // order — which is what keeps the dataset byte-identical to serial.
 // Each index is emitted exactly once, so the concurrent slot writes
 // never race.
-func crawlParallel(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, workers int, opts Options) (*Dataset, error) {
+func crawlParallel(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, src site.Source, workers int, opts Options) (*Dataset, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	results := make([]crawlEntry, len(sites))
-	err := streamCrawl(ctx, eco, profile, sites, workers, opts, func(i int, e crawlEntry) error {
+	results := make([]crawlEntry, src.Len())
+	err := streamCrawl(ctx, eco, profile, src, workers, opts, func(i int, e crawlEntry) error {
 		results[i] = e
 		return nil
 	})

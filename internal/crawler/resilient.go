@@ -24,7 +24,13 @@ import (
 
 // Options configures a crawl beyond the stock fault-free defaults.
 type Options struct {
-	// Sites restricts the crawl; nil means every candidate site.
+	// Source supplies the site population lazily (site i materialized
+	// on demand); nil falls back to Sites, then to the ecosystem's full
+	// universe. Setting both Source and Sites is a validation error.
+	Source site.Source
+	// Sites restricts the crawl to a materialized slice; nil means the
+	// ecosystem's universe (which, at the default universe size, is
+	// exactly the candidate sites).
 	Sites []*site.Site
 	// Workers > 0 crawls with that many parallel workers (<= 0 inside
 	// CrawlOpts means serial; CrawlParallel keeps its own convention
@@ -72,6 +78,9 @@ type Options struct {
 // silently preferring one side. It is the single source of truth the
 // pipeline's embedded options validate through.
 func (o Options) Validate() error {
+	if o.Source != nil && o.Sites != nil {
+		return errors.New("crawler: Source and Sites are both set — pick one site supply")
+	}
 	if o.Resume && o.CheckpointPath == "" {
 		return errors.New("crawler: Resume requires CheckpointPath")
 	}
@@ -119,14 +128,26 @@ func CrawlOpts(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profi
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	sites := opts.Sites
-	if sites == nil {
-		sites = eco.Sites
-	}
+	src := opts.source(eco)
 	if opts.Workers > 0 {
-		return crawlParallel(ctx, eco, profile, sites, opts.Workers, opts)
+		return crawlParallel(ctx, eco, profile, src, opts.Workers, opts)
 	}
-	return crawlSerial(ctx, eco, profile, sites, opts)
+	return crawlSerial(ctx, eco, profile, src, opts)
+}
+
+// source resolves the options' effective site supply: the lazy Source,
+// then the materialized Sites slice, then the ecosystem's universe. At
+// the default universe size the universe is exactly the candidate
+// sites, so the fallback is byte-identical to the historical nil-Sites
+// behaviour.
+func (o Options) source(eco *webgen.Ecosystem) site.Source {
+	if o.Source != nil {
+		return o.Source
+	}
+	if o.Sites != nil {
+		return site.Slice(o.Sites)
+	}
+	return eco.Universe()
 }
 
 // ResumeCrawl continues an interrupted checkpointed crawl: completed
@@ -366,12 +387,12 @@ func crashedEntry(b *browser.Browser, eco *webgen.Ecosystem, s *site.Site, rt *f
 	return crawlEntry{Crawl: crawl, Mail: mbox.Messages, Blocked: b.Blocked}
 }
 
-// crawlSerial is the single-browser loop behind Crawl/CrawlSites and
-// the checkpointing/resilient paths, built on the streaming engine:
+// crawlSerial is the single-browser loop behind Run/Crawl/CrawlSites
+// and the checkpointing/resilient paths, built on the streaming engine:
 // serial emissions arrive in site order, so they merge directly.
-func crawlSerial(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, opts Options) (*Dataset, error) {
+func crawlSerial(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, src site.Source, opts Options) (*Dataset, error) {
 	ds := newDataset(eco, profile.Name+" "+profile.Version)
-	err := streamCrawl(ctx, eco, profile, sites, 1, opts, func(_ int, e crawlEntry) error {
+	err := streamCrawl(ctx, eco, profile, src, 1, opts, func(_ int, e crawlEntry) error {
 		ds.merge(e)
 		return nil
 	})

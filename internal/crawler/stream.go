@@ -38,16 +38,16 @@ type SiteResult struct {
 // worker holds its finished site until emit returns, so a bounded
 // consumer bounds the number of captures in flight. An emit error stops
 // the crawl. Checkpointing works exactly as in CrawlOpts: sites already
-// in the checkpoint are emitted first, in site order, without
-// re-crawling. Cancelling ctx stops the crawl with ctx's error; the
-// site in flight at that moment is discarded, never checkpointed or
-// emitted.
+// in the checkpoint are emitted without re-crawling, in site order
+// relative to each other, as the crawl reaches them. Cancelling ctx
+// stops the crawl with ctx's error; the site in flight at that moment
+// is discarded, never checkpointed or emitted.
+//
+// The site population comes from Options.Source (or Sites, or the
+// ecosystem's universe): sites are materialized one at a time as the
+// crawl reaches them, so a lazy source is never held in memory whole.
 func CrawlStream(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, opts Options, emit func(SiteResult) error) error {
-	sites := opts.Sites
-	if sites == nil {
-		sites = eco.Sites
-	}
-	return streamCrawl(ctx, eco, profile, sites, opts.Workers, opts, func(i int, e crawlEntry) error {
+	return streamCrawl(ctx, eco, profile, opts.source(eco), opts.Workers, opts, func(i int, e crawlEntry) error {
 		return emit(SiteResult{Index: i, Crawl: e.Crawl, Mail: e.Mail, Blocked: e.Blocked})
 	})
 }
@@ -68,14 +68,20 @@ func (d *Dataset) Merge(r SiteResult) {
 // streamCrawl is the engine. workers <= 1 runs the single-browser
 // serial loop (emissions in site order); workers > 1 runs the bounded
 // pool (emissions in completion order, concurrent emit). Checkpointed
-// sites are emitted without crawling, then the remainder is fed to the
-// workers.
+// sites are emitted without crawling as the walk reaches them.
+//
+// The engine walks the source by index and materializes exactly one
+// site per step — the serial loop directly, the parallel path in the
+// feeding goroutine — so peak site memory is the sites held by the
+// workers plus the one being fed, never the source's length. The
+// materialization count lands in the universe-materialized gauge: for
+// a shard worker over a lazy universe it reads the shard's size.
 //
 // Cancellation is crash-only: a done ctx stops the loop before the next
 // site, and a site mid-crawl when cancellation lands is dropped on the
 // floor — the checkpoint then holds exactly a prefix of the
 // uninterrupted run, which is what makes resume byte-identical.
-func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, sites []*site.Site, workers int, opts Options, emit func(int, crawlEntry) error) error {
+func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, src site.Source, workers int, opts Options, emit func(int, crawlEntry) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -98,14 +104,19 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 		}
 	}
 
+	var materialized int64
+	defer func() { o.GaugeMax(obs.MetricUniverseMaterialized, materialized) }()
+
 	if workers <= 1 {
 		b := browser.New(profile, eco.Zone)
 		b.Ctx = ctx
 		b.Obs = o
-		for i, s := range sites {
+		for i := 0; i < src.Len(); i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			materialized++
+			s := src.At(i)
 			if e, ok := ckpt.lookup(s.Domain); ok {
 				noteResumedSite(o, &e)
 				if err := emit(i, e); err != nil {
@@ -139,24 +150,11 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 		return nil
 	}
 
-	if workers > len(sites) {
-		workers = len(sites)
+	if workers > src.Len() {
+		workers = src.Len()
 	}
 	if workers < 1 {
 		workers = 1
-	}
-
-	// Checkpointed sites first, in site order, from this goroutine.
-	pending := make([]int, 0, len(sites))
-	for i, s := range sites {
-		if e, ok := ckpt.lookup(s.Domain); ok {
-			noteResumedSite(o, &e)
-			if err := emit(i, e); err != nil {
-				return err
-			}
-			continue
-		}
-		pending = append(pending, i)
 	}
 
 	var (
@@ -171,7 +169,7 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 			close(stop)
 		})
 	}
-	next := make(chan int)
+	next := make(chan feedItem)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -179,10 +177,10 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 			b := browser.New(profile, eco.Zone)
 			b.Ctx = ctx
 			b.Obs = o
-			for i := range next {
-				sp := o.StartSpan(obs.StageCrawl, sites[i].Domain, i)
+			for it := range next {
+				sp := o.StartSpan(obs.StageCrawl, it.site.Domain, it.index)
 				rt := newFaultTransport(ctx, eco, inj, opts)
-				e := crawlEntryFor(b, eco, sites[i], rt, opts.Quarantine)
+				e := crawlEntryFor(b, eco, it.site, rt, opts.Quarantine)
 				if err := ctx.Err(); err != nil {
 					// Drop the in-flight entry; the checkpoint keeps
 					// only sites finished before cancellation.
@@ -197,7 +195,7 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 					o.Count(obs.MetricCheckpointAppends, 1)
 				}
 				noteCrawledSite(o, sp, rt, &e)
-				if err := emit(i, e); err != nil {
+				if err := emit(it.index, e); err != nil {
 					fail(err)
 					return
 				}
@@ -205,7 +203,7 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 			}
 		}()
 	}
-	feedSites(ctx, pending, next, stop, fail)
+	feedSites(ctx, src, ckpt, o, next, stop, fail, emit, &materialized)
 	wg.Wait()
 	if firstErr != nil {
 		return firstErr
@@ -216,14 +214,42 @@ func streamCrawl(ctx context.Context, eco *webgen.Ecosystem, profile browser.Pro
 	return nil
 }
 
-// feedSites streams pending site indexes to the worker pool until the
-// list drains, a worker fails, or the run is cancelled, then closes the
-// feed channel.
-func feedSites(ctx context.Context, pending []int, next chan<- int, stop <-chan struct{}, fail func(error)) {
+// feedItem is one site handed to the worker pool: the feeder is the
+// single point that materializes sites from the source, so workers
+// receive the already-derived pointer instead of re-deriving it.
+type feedItem struct {
+	index int
+	site  *site.Site
+}
+
+// feedSites walks the source in index order, materializing one site at
+// a time: checkpointed sites are emitted directly (in site order
+// relative to each other, concurrently with worker emissions), the rest
+// stream to the pool. The walk stops when a worker fails or the run is
+// cancelled, then closes the feed channel.
+func feedSites(ctx context.Context, src site.Source, ckpt *Checkpoint, o *obs.Run, next chan<- feedItem, stop <-chan struct{}, fail func(error), emit func(int, crawlEntry) error, materialized *int64) {
 feed:
-	for _, i := range pending {
+	for i := 0; i < src.Len(); i++ {
 		select {
-		case next <- i:
+		case <-stop:
+			break feed
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
+		default:
+		}
+		*materialized++
+		s := src.At(i)
+		if e, ok := ckpt.lookup(s.Domain); ok {
+			noteResumedSite(o, &e)
+			if err := emit(i, e); err != nil {
+				fail(err)
+				break feed
+			}
+			continue
+		}
+		select {
+		case next <- feedItem{index: i, site: s}:
 		case <-stop:
 			break feed
 		case <-ctx.Done():

@@ -105,6 +105,11 @@ const (
 	// Pipeline memory bound (gauge; streamed runs only).
 	MetricCaptureHighWater = "pipeline_capture_highwater_sites"
 
+	// Lazy-universe memory bound (gauge): the largest number of sites
+	// one crawl materialized from its source — for a shard worker over
+	// a lazy universe, the shard's size, never the whole universe.
+	MetricUniverseMaterialized = "universe_materialized_sites"
+
 	// Sharded runtime (supervisor-side).
 	MetricShardRuns        = "shard_runs_total"         // worker attempts, by shard index
 	MetricShardRestarts    = "shard_restarts_total"     // supervisor restarts, by shard index

@@ -29,6 +29,7 @@ import (
 	"piileak/internal/detect"
 	"piileak/internal/httpmodel"
 	"piileak/internal/obs"
+	"piileak/internal/site"
 	"piileak/internal/tracking"
 	"piileak/internal/webgen"
 )
@@ -211,11 +212,15 @@ func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, de
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	sites := opts.Sites
-	if sites == nil {
-		sites = eco.Sites
+	src := opts.Options.Source
+	if src == nil {
+		if opts.Sites != nil {
+			src = site.Slice(opts.Sites)
+		} else {
+			src = eco.Universe()
+		}
 	}
-	total := len(sites)
+	total := src.Len()
 	o := opts.Obs
 
 	detectWorkers := opts.DetectWorkers
@@ -245,9 +250,12 @@ func Run(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profile, de
 	outputs := make(chan siteOutput, buffer)
 
 	// Stage 1: crawl. Emissions block on the captures channel, which is
-	// the backpressure that bounds the pipeline's in-flight state.
+	// the backpressure that bounds the pipeline's in-flight state. The
+	// resolved source replaces any Sites slice so the crawl and the
+	// accumulator agree on the population.
 	copts := opts.Options
-	copts.Sites = sites
+	copts.Source = src
+	copts.Sites = nil
 	var crawlErr error
 	go func() {
 		defer close(captures)

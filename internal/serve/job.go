@@ -88,6 +88,10 @@ type Spec struct {
 	SiteTimeout string `json:"site_timeout,omitempty"`
 	// Only restricts the run to a site subset (domains).
 	Only []string `json:"only,omitempty"`
+	// UniverseSize extends the study to that many total sites with a
+	// lazily generated ranked tail (0 = study core only); it must not
+	// be smaller than the study core.
+	UniverseSize int `json:"universe_size,omitempty"`
 }
 
 // knownBrowsers is the accepted -browser vocabulary, mirrored from the
@@ -127,6 +131,17 @@ func (sp *Spec) Validate() error {
 			return fmt.Errorf("only: empty site domain")
 		}
 	}
+	if sp.UniverseSize < 0 {
+		return fmt.Errorf("universe_size %d is negative", sp.UniverseSize)
+	}
+	if sp.UniverseSize > 0 {
+		if core := sp.StudyConfig().Ecosystem.ShoppingSites; sp.UniverseSize < core {
+			return fmt.Errorf("universe_size %d is smaller than the %d-site study core", sp.UniverseSize, core)
+		}
+		if len(sp.Only) > 0 {
+			return fmt.Errorf("universe_size and only are contradictory: only selects from the study core")
+		}
+	}
 	return nil
 }
 
@@ -157,6 +172,7 @@ func (sp *Spec) StudyConfig() piileak.Config {
 		cfg = piileak.SmallConfig(seed)
 	}
 	cfg.Ecosystem.Seed = seed
+	cfg.Ecosystem.UniverseSize = sp.UniverseSize
 	cfg.Workers = sp.Workers
 	if sp.Faults > 0 {
 		cfg.Ecosystem.Faults = &faultsim.Config{Seed: sp.FaultSeed, Rate: sp.Faults}

@@ -112,19 +112,20 @@ func Merge(eco *webgen.Ecosystem, profile browser.Profile, plan *Plan, results [
 	// belong to a different ecosystem layout.
 	slots := make([]*SiteRecord, plan.Universe)
 	report := &Report{Schema: ReportSchema, Shards: plan.Shards}
+	universe := eco.Universe()
 	for s := 0; s < plan.Shards; s++ {
 		r, ok := byShard[s]
 		if !ok {
 			report.Missing = append(report.Missing, MissingShard{
 				Shard: s,
-				Sites: append([]string(nil), plan.Assignments[s].Domains...),
+				Sites: plan.Domains(eco, s),
 			})
 			continue
 		}
 		for i := range r.Records {
 			rec := &r.Records[i]
-			if rec.Crawl.Domain != eco.Sites[rec.Index].Domain {
-				return nil, nil, fmt.Errorf("shard %d: record %d is %s, ecosystem index %d is %s", s, i, rec.Crawl.Domain, rec.Index, eco.Sites[rec.Index].Domain)
+			if want := universe.At(rec.Index).Domain; rec.Crawl.Domain != want {
+				return nil, nil, fmt.Errorf("shard %d: record %d is %s, ecosystem index %d is %s", s, i, rec.Crawl.Domain, rec.Index, want)
 			}
 			slots[rec.Index] = rec
 		}

@@ -25,35 +25,39 @@ import (
 	"piileak/internal/webgen"
 )
 
-// PlanSchema versions the plan manifest layout.
-const PlanSchema = 1
+// PlanSchema versions the plan manifest layout. Schema 2 dropped the
+// materialized per-shard assignment lists in favour of the interleave
+// rule and universe size they were derived from, so plan.json is
+// O(shards) instead of O(sites) — a few hundred bytes at any scale,
+// including a million-site lazy universe.
+const PlanSchema = 2
 
-// Plan is the byte-stable partition manifest: which global site index
-// landed in which shard, plus the run identity that makes a stale plan
-// detectable. Two calls to NewPlan with the same ecosystem and K
-// marshal to identical bytes.
+// planInterleave names the only partition rule: global site index i
+// lands in shard i%K at position i/K. Storing the rule instead of its
+// expansion is what keeps the plan O(shards); the string is pinned at
+// parse and verify time so a plan written under some future rule is
+// rejected instead of silently re-derived under this one.
+const planInterleave = "rank-mod-shards"
+
+// Plan is the byte-stable partition manifest: the coordinates every
+// worker and the merge agree on. Two calls to NewPlan with the same
+// ecosystem and K marshal to identical bytes. The plan deliberately
+// stores no site data — each shard's population is re-derived from
+// (EcoSeed, Universe, Interleave) on demand via the lazy universe.
 type Plan struct {
 	Schema    int    `json:"schema"`
 	EcoSeed   uint64 `json:"eco_seed"`
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
-	// Shards is K; Universe is the full ranked site count.
+	// Shards is K; Universe is the full ranked site count, including
+	// any lazily generated tail.
 	Shards   int `json:"shards"`
 	Universe int `json:"universe"`
-	// Assignments holds one entry per shard, in shard order.
-	Assignments []Assignment `json:"assignments"`
+	// Interleave names the index-to-shard rule; only
+	// "rank-mod-shards" exists.
+	Interleave string `json:"interleave"`
 }
 
-// Assignment is one shard's slice of the universe: global site indexes
-// in ascending (rank) order, with the domains alongside so a plan can
-// be audited — and verified against an ecosystem — without re-deriving
-// the partition.
-type Assignment struct {
-	Shard   int      `json:"shard"`
-	Indexes []int    `json:"indexes"`
-	Domains []string `json:"domains"`
-}
-
-// NewPlan partitions the ecosystem's ranked site list into shards
+// NewPlan partitions the ecosystem's ranked universe into shards
 // rank-interleaved: global index i lands in shard i%K at position i/K,
 // so every shard spans the full rank distribution (head-heavy sites
 // are spread evenly, not concentrated in shard 0) and shard sizes
@@ -62,53 +66,88 @@ func NewPlan(eco *webgen.Ecosystem, shards int) (*Plan, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("shard: plan needs at least 1 shard, got %d", shards)
 	}
-	if len(eco.Sites) == 0 {
+	n := eco.Universe().Len()
+	if n == 0 {
 		return nil, fmt.Errorf("shard: ecosystem has no sites to partition")
 	}
 	p := &Plan{
-		Schema:   PlanSchema,
-		EcoSeed:  eco.Config.Seed,
-		Shards:   shards,
-		Universe: len(eco.Sites),
+		Schema:     PlanSchema,
+		EcoSeed:    eco.Config.Seed,
+		Shards:     shards,
+		Universe:   n,
+		Interleave: planInterleave,
 	}
 	if eco.Faults != nil {
 		p.FaultSeed = eco.Faults.Seed()
 	}
-	p.Assignments = make([]Assignment, shards)
-	for s := 0; s < shards; s++ {
-		p.Assignments[s].Shard = s
-	}
-	for i, st := range eco.Sites {
-		a := &p.Assignments[i%shards]
-		a.Indexes = append(a.Indexes, i)
-		a.Domains = append(a.Domains, st.Domain)
-	}
 	return p, nil
 }
 
-// Sites resolves one shard's assignment back to the ecosystem's site
-// pointers, in rank order — the slice a shard worker crawls.
+// Size is the number of sites shard covers under the interleave:
+// ceil((Universe - shard) / Shards), never negative.
+func (p *Plan) Size(shard int) int {
+	if shard < 0 || shard >= p.Shards || shard >= p.Universe {
+		return 0
+	}
+	return (p.Universe - shard + p.Shards - 1) / p.Shards
+}
+
+// Indexes expands one shard's global site indexes in ascending (rank)
+// order. The list is derived from the interleave rule on demand — the
+// plan itself never stores it.
+func (p *Plan) Indexes(shard int) []int {
+	n := p.Size(shard)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for i := shard; i < p.Universe; i += p.Shards {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Sites materializes one shard's site population in rank order — the
+// slice a caller crawls when it wants the whole shard in memory. It
+// walks the ecosystem's lazy universe, so the cost is the shard's
+// size, never the universe's.
 func (p *Plan) Sites(eco *webgen.Ecosystem, shard int) ([]*site.Site, error) {
-	if shard < 0 || shard >= len(p.Assignments) {
+	if shard < 0 || shard >= p.Shards {
 		return nil, fmt.Errorf("shard: plan has no shard %d (shards=%d)", shard, p.Shards)
 	}
-	a := p.Assignments[shard]
-	out := make([]*site.Site, len(a.Indexes))
-	for j, i := range a.Indexes {
-		if i < 0 || i >= len(eco.Sites) {
-			return nil, fmt.Errorf("shard: plan index %d out of the ecosystem's %d sites", i, len(eco.Sites))
-		}
-		out[j] = eco.Sites[i]
+	u := eco.Universe()
+	if u.Len() != p.Universe {
+		return nil, fmt.Errorf("shard: plan universe %d, ecosystem has %d sites", p.Universe, u.Len())
+	}
+	out := make([]*site.Site, 0, p.Size(shard))
+	for i := shard; i < p.Universe; i += p.Shards {
+		out = append(out, u.At(i))
 	}
 	return out, nil
 }
 
-// Verify checks the plan against an ecosystem: run identity, universe
-// size, and that every assignment holds exactly the interleaved
-// indexes with matching domains. A plan from a different seed — or a
-// hand-edited one — fails here instead of producing a silently wrong
-// merge.
+// Domains derives the domain list one shard covers, in rank order —
+// the merge report uses it to name the exact sites a lost shard took
+// down.
+func (p *Plan) Domains(eco *webgen.Ecosystem, shard int) []string {
+	u := eco.Universe()
+	var domains []string
+	for i := shard; i >= 0 && i < p.Universe && i < u.Len(); i += p.Shards {
+		domains = append(domains, u.At(i).Domain)
+	}
+	return domains
+}
+
+// Verify checks the plan against an ecosystem: schema, run identity,
+// universe size and interleave rule. A plan from a different seed — or
+// a hand-edited one — fails here instead of producing a silently wrong
+// merge. A legacy schema-1 plan (materialized assignment lists) gets a
+// distinct error: its layout predates the lazy universe, so the remedy
+// is re-planning in a fresh directory, never a silent upgrade.
 func (p *Plan) Verify(eco *webgen.Ecosystem) error {
+	if p.Schema == 1 {
+		return fmt.Errorf("shard: legacy materialized-assignment plan (schema 1); re-plan the study in a fresh directory")
+	}
 	if p.Schema != PlanSchema {
 		return fmt.Errorf("shard: plan schema %d, want %d", p.Schema, PlanSchema)
 	}
@@ -122,42 +161,20 @@ func (p *Plan) Verify(eco *webgen.Ecosystem) error {
 	if p.FaultSeed != faultSeed {
 		return fmt.Errorf("shard: plan fault seed %d, ecosystem has %d", p.FaultSeed, faultSeed)
 	}
-	if p.Universe != len(eco.Sites) {
-		return fmt.Errorf("shard: plan universe %d, ecosystem has %d sites", p.Universe, len(eco.Sites))
+	if n := eco.Universe().Len(); p.Universe != n {
+		return fmt.Errorf("shard: plan universe %d, ecosystem has %d sites", p.Universe, n)
 	}
-	if p.Shards < 1 || len(p.Assignments) != p.Shards {
-		return fmt.Errorf("shard: plan has %d assignments for %d shards", len(p.Assignments), p.Shards)
+	if p.Shards < 1 {
+		return fmt.Errorf("shard: plan has %d shards", p.Shards)
 	}
-	seen := 0
-	for s, a := range p.Assignments {
-		if a.Shard != s {
-			return fmt.Errorf("shard: assignment %d labeled shard %d", s, a.Shard)
-		}
-		if len(a.Domains) != len(a.Indexes) {
-			return fmt.Errorf("shard %d: %d domains for %d indexes", s, len(a.Domains), len(a.Indexes))
-		}
-		for j, i := range a.Indexes {
-			if i < 0 || i >= len(eco.Sites) {
-				return fmt.Errorf("shard %d: index %d out of range", s, i)
-			}
-			if i%p.Shards != s || i/p.Shards != j {
-				return fmt.Errorf("shard %d: index %d at position %d breaks the interleave", s, i, j)
-			}
-			if eco.Sites[i].Domain != a.Domains[j] {
-				return fmt.Errorf("shard %d: index %d is %s in the plan but %s in the ecosystem", s, i, a.Domains[j], eco.Sites[i].Domain)
-			}
-			seen++
-		}
-	}
-	if seen != p.Universe {
-		return fmt.Errorf("shard: plan assigns %d sites of %d", seen, p.Universe)
+	if p.Interleave != planInterleave {
+		return fmt.Errorf("shard: plan interleave %q, this binary speaks %q", p.Interleave, planInterleave)
 	}
 	return nil
 }
 
-// Marshal renders the plan as indented JSON. Struct field order and
-// in-order assignment slices make the bytes stable: same ecosystem and
-// K, same bytes.
+// Marshal renders the plan as indented JSON. Struct field order makes
+// the bytes stable: same ecosystem and K, same bytes.
 func (p *Plan) Marshal() ([]byte, error) {
 	data, err := json.MarshalIndent(p, "", " ")
 	if err != nil {
@@ -191,35 +208,27 @@ func ReadPlan(path string) (*Plan, error) {
 
 // parsePlan decodes plan bytes and checks internal consistency — the
 // part of Verify that needs no ecosystem, so corrupt or truncated
-// manifests are rejected at read time.
+// manifests are rejected at read time. This is the fuzz surface: any
+// byte string must produce a coherent plan or a clean error.
 func parsePlan(data []byte) (*Plan, error) {
 	var p Plan
 	if err := json.Unmarshal(data, &p); err != nil {
 		return nil, fmt.Errorf("shard: parse plan: %w", err)
 	}
+	if p.Schema == 1 {
+		return nil, fmt.Errorf("shard: legacy materialized-assignment plan (schema 1); re-plan the study in a fresh directory")
+	}
 	if p.Schema != PlanSchema {
 		return nil, fmt.Errorf("shard: plan schema %d, want %d", p.Schema, PlanSchema)
 	}
-	if p.Shards < 1 || len(p.Assignments) != p.Shards {
-		return nil, fmt.Errorf("shard: plan has %d assignments for %d shards", len(p.Assignments), p.Shards)
+	if p.Shards < 1 {
+		return nil, fmt.Errorf("shard: plan has %d shards", p.Shards)
 	}
-	seen := 0
-	for s, a := range p.Assignments {
-		if a.Shard != s {
-			return nil, fmt.Errorf("shard: assignment %d labeled shard %d", s, a.Shard)
-		}
-		if len(a.Domains) != len(a.Indexes) {
-			return nil, fmt.Errorf("shard %d: %d domains for %d indexes", s, len(a.Domains), len(a.Indexes))
-		}
-		for j, i := range a.Indexes {
-			if i < 0 || i >= p.Universe || i%p.Shards != s || i/p.Shards != j {
-				return nil, fmt.Errorf("shard %d: index %d at position %d breaks the interleave", s, i, j)
-			}
-			seen++
-		}
+	if p.Universe < 1 {
+		return nil, fmt.Errorf("shard: plan universe %d", p.Universe)
 	}
-	if seen != p.Universe {
-		return nil, fmt.Errorf("shard: plan assigns %d sites of %d", seen, p.Universe)
+	if p.Interleave != planInterleave {
+		return nil, fmt.Errorf("shard: plan interleave %q, this binary speaks %q", p.Interleave, planInterleave)
 	}
 	return &p, nil
 }

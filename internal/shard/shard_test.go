@@ -147,18 +147,30 @@ func TestPlanDeterministicInterleaved(t *testing.T) {
 		if err := a.Verify(eco); err != nil {
 			t.Errorf("K=%d: fresh plan fails Verify: %v", k, err)
 		}
+		if a.Universe != len(eco.Sites) {
+			t.Errorf("K=%d: plan universe %d, ecosystem has %d sites", k, a.Universe, len(eco.Sites))
+		}
 		min, max := len(eco.Sites), 0
-		for s, asn := range a.Assignments {
-			if n := len(asn.Indexes); n < min {
+		total := 0
+		for s := 0; s < k; s++ {
+			ix := a.Indexes(s)
+			if n := len(ix); n != a.Size(s) {
+				t.Fatalf("K=%d shard %d: %d indexes, Size says %d", k, s, n, a.Size(s))
+			}
+			if n := len(ix); n < min {
 				min = n
 			} else if n > max {
 				max = n
 			}
-			for j, i := range asn.Indexes {
+			for j, i := range ix {
 				if i != s+j*k {
 					t.Fatalf("K=%d shard %d: index %d at position %d, want %d", k, s, i, j, s+j*k)
 				}
 			}
+			total += len(ix)
+		}
+		if total != a.Universe {
+			t.Errorf("K=%d: shards cover %d of %d sites", k, total, a.Universe)
 		}
 		if max == 0 {
 			max = min
@@ -205,9 +217,9 @@ func TestPlanVerifyRejectsForeign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	edited.Assignments[1].Domains[0] = "not-this-site.example"
+	edited.Interleave = "round-robin"
 	if err := edited.Verify(eco); err == nil {
-		t.Error("plan with an edited domain verified")
+		t.Error("plan with an unknown interleave rule verified")
 	}
 
 	shrunk, err := NewPlan(eco, 3)
@@ -219,15 +231,29 @@ func TestPlanVerifyRejectsForeign(t *testing.T) {
 		t.Error("plan with a wrong universe verified")
 	}
 
+	legacy, err := NewPlan(eco, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.Schema = 1
+	if err := legacy.Verify(eco); err == nil {
+		t.Error("legacy schema-1 plan verified")
+	} else if !bytes.Contains([]byte(err.Error()), []byte("legacy")) {
+		t.Errorf("legacy schema-1 plan rejected without the legacy hint: %v", err)
+	}
+
 	good, err := plan.Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
 	for name, corrupt := range map[string][]byte{
-		"torn tail":    good[:len(good)/2],
-		"empty":        nil,
-		"not json":     []byte("plan?\n"),
-		"wrong schema": bytes.Replace(good, []byte(`"schema": 1`), []byte(`"schema": 9`), 1),
+		"torn tail":        good[:len(good)/2],
+		"empty":            nil,
+		"not json":         []byte("plan?\n"),
+		"wrong schema":     bytes.Replace(good, []byte(`"schema": 2`), []byte(`"schema": 9`), 1),
+		"legacy schema":    bytes.Replace(good, []byte(`"schema": 2`), []byte(`"schema": 1`), 1),
+		"zero shards":      bytes.Replace(good, []byte(`"shards": 3`), []byte(`"shards": 0`), 1),
+		"wrong interleave": bytes.Replace(good, []byte("rank-mod-shards"), []byte("round-robin"), 1),
 	} {
 		if p, err := parsePlan(corrupt); err == nil || p != nil {
 			t.Errorf("%s: parsePlan returned (%v, %v), want (nil, error)", name, p, err)
@@ -402,15 +428,15 @@ func TestMergeMissingShardDegrades(t *testing.T) {
 	if len(report.Missing) != 1 || report.Missing[0].Shard != lost {
 		t.Fatalf("Missing = %+v, want shard %d", report.Missing, lost)
 	}
-	if !reflect.DeepEqual(report.Missing[0].Sites, plan.Assignments[lost].Domains) {
-		t.Error("missing-shard site list does not match the plan assignment")
+	if !reflect.DeepEqual(report.Missing[0].Sites, plan.Domains(eco, lost)) {
+		t.Error("missing-shard site list does not match the plan's derived domains")
 	}
-	wantSites := len(eco.Sites) - len(plan.Assignments[lost].Indexes)
+	wantSites := len(eco.Sites) - plan.Size(lost)
 	if report.MergedSites != wantSites {
 		t.Errorf("merged %d sites, want %d", report.MergedSites, wantSites)
 	}
 	gone := map[string]bool{}
-	for _, d := range plan.Assignments[lost].Domains {
+	for _, d := range plan.Domains(eco, lost) {
 		gone[d] = true
 	}
 	for _, l := range res.Leaks {

@@ -134,11 +134,11 @@ func TestSuperviseExhaustedShardGoesMissing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(m.Sites, plan.Assignments[1].Domains) {
+	if !reflect.DeepEqual(m.Sites, plan.Domains(eco, 1)) {
 		t.Error("missing shard's site list does not match the plan")
 	}
-	if report.MergedSites != len(plan.Assignments[0].Indexes) {
-		t.Errorf("merged %d sites, want shard 0's %d", report.MergedSites, len(plan.Assignments[0].Indexes))
+	if report.MergedSites != plan.Size(0) {
+		t.Errorf("merged %d sites, want shard 0's %d", report.MergedSites, plan.Size(0))
 	}
 	if len(res.Leaks) != report.Leaks {
 		t.Errorf("result holds %d leaks, report says %d", len(res.Leaks), report.Leaks)

@@ -24,8 +24,9 @@ type WorkerConfig struct {
 	// passed through to pipeline.Options.
 	Workers, DetectWorkers, Buffer int
 	// Options carries the remaining crawl knobs — faults, policy, site
-	// timeout, observer. Sites, CheckpointPath, Resume, Shard/Shards and
-	// Quarantine are owned by the worker and overwritten.
+	// timeout, observer. Source, Sites, CheckpointPath, Resume,
+	// Shard/Shards and Quarantine are owned by the worker and
+	// overwritten.
 	Options crawler.Options
 	// QuarantineDir, when set, collects crash bundles under shard-unique
 	// paths so K workers can share the directory. QuarantineMax caps the
@@ -40,29 +41,37 @@ type WorkerConfig struct {
 	Checkpoint string
 }
 
-// shardIndexes returns the global site indexes shard s of K owns, in
-// rank order: s, s+K, s+2K, ...
-func shardIndexes(universe, s, k int) []int {
-	var out []int
-	for i := s; i < universe; i += k {
-		out = append(out, i)
-	}
-	return out
+// interleaveSource is one shard's lazy view of the universe: local
+// index j maps to global index shard + j*shards. It materializes
+// nothing — each At defers to the underlying source — so a worker over
+// a lazy universe derives only the sites the crawl actually reaches,
+// never the whole universe.
+type interleaveSource struct {
+	src           site.Source
+	shard, shards int
 }
 
-// sitesFor resolves global indexes to the ecosystem's site pointers.
-func sitesFor(eco *webgen.Ecosystem, indexes []int) []*site.Site {
-	out := make([]*site.Site, len(indexes))
-	for j, i := range indexes {
-		out[j] = eco.Sites[i]
+func (s interleaveSource) Len() int {
+	n := s.src.Len()
+	if s.shard >= n {
+		return 0
 	}
-	return out
+	return (n - s.shard + s.shards - 1) / s.shards
+}
+
+func (s interleaveSource) At(j int) *site.Site {
+	return s.src.At(s.shard + j*s.shards)
 }
 
 // RunWorker executes one shard end to end: crawl + detect + accumulate
 // over the shard's interleaved site slice, checkpointed so a restart
 // resumes instead of recrawling, finishing by atomically writing the
 // shard's digest-bearing result file. It returns the result path.
+//
+// The shard's population is a lazy interleaved view of the ecosystem's
+// universe — sites materialize one at a time as the crawl reaches
+// them, so the worker's peak site memory is proportional to its shard,
+// not the universe.
 //
 // Workers always run streamed (records released after detection): the
 // sharded study's contract covers leak bytes and table numbers, and
@@ -81,9 +90,10 @@ func RunWorker(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profi
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return "", fmt.Errorf("shard: create dir: %w", err)
 	}
-	slice := shardIndexes(len(eco.Sites), cfg.Shard, cfg.Shards)
-	if len(slice) == 0 {
-		return "", fmt.Errorf("shard: shard %d of %d is empty (universe %d)", cfg.Shard, cfg.Shards, len(eco.Sites))
+	universe := eco.Universe()
+	src := interleaveSource{src: universe, shard: cfg.Shard, shards: cfg.Shards}
+	if src.Len() == 0 {
+		return "", fmt.Errorf("shard: shard %d of %d is empty (universe %d)", cfg.Shard, cfg.Shards, universe.Len())
 	}
 
 	opts := pipeline.Options{
@@ -93,7 +103,8 @@ func RunWorker(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profi
 	opts.Options = cfg.Options
 	opts.Workers = cfg.Workers
 	opts.Shard, opts.Shards = cfg.Shard, cfg.Shards
-	opts.Sites = sitesFor(eco, slice)
+	opts.Source = src
+	opts.Sites = nil
 	opts.CheckpointPath = cfg.Checkpoint
 	if opts.CheckpointPath == "" {
 		opts.CheckpointPath = CheckpointPath(cfg.Dir, cfg.Shard, cfg.Shards)
@@ -103,7 +114,7 @@ func RunWorker(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profi
 
 	// Collect per-site outputs — the sink sees them in local site order,
 	// and local position j maps back to global index Shard + j*Shards.
-	recs := make([]SiteRecord, 0, len(slice))
+	recs := make([]SiteRecord, 0, src.Len())
 	opts.Sink = func(out pipeline.SiteOut) {
 		recs = append(recs, SiteRecord{
 			Index:   cfg.Shard + out.Result.Index*cfg.Shards,
@@ -134,7 +145,7 @@ func RunWorker(ctx context.Context, eco *webgen.Ecosystem, profile browser.Profi
 		Browser:  profile.Name + " " + profile.Version,
 		Shards:   cfg.Shards,
 		Shard:    cfg.Shard,
-		Universe: len(eco.Sites),
+		Universe: universe.Len(),
 	}
 	if inj := cfg.Options.Faults; inj != nil {
 		m.FaultSeed = inj.Seed()

@@ -100,6 +100,40 @@ func Generate(seed uint64, n, shoppingQuota int) *List {
 	return &List{Entries: entries}
 }
 
+// tailSalt keys the per-rank PCG streams of the long tail, independent
+// of the head list's stream so extending the universe can never perturb
+// the generated head.
+const tailSalt = 0x7461696c // "tail"
+
+// TailShoppingModulus spaces the shopping category through the long
+// tail: tail ranks divisible by it are shopping, everything else draws
+// a weighted non-shopping category. ~1% keeps background shopping
+// present at every scale without making million-site universes
+// crawl-heavy.
+const TailShoppingModulus = 97
+
+// TailEntry derives the ranked entry for one long-tail rank as a pure
+// function of (seed, rank): an independent PCG stream per rank, so the
+// same entry comes back byte-identical regardless of access order,
+// subsetting, or which shard asks. Tail domains embed a "-r<rank>"
+// marker; head domains are hyphen-free, so the two namespaces cannot
+// collide and tail domains are unique by construction.
+func TailEntry(seed uint64, rank int) Entry {
+	rng := rand.New(rand.NewPCG(seed, tailSalt^uint64(rank)))
+	p := namePrefixes[rng.IntN(len(namePrefixes))]
+	s := nameSuffixes[rng.IntN(len(nameSuffixes))]
+	tld := tlds[rng.IntN(len(tlds))]
+	category := Categories[1:][rng.IntN(len(Categories)-1)]
+	if rank%TailShoppingModulus == 0 {
+		category = CategoryShopping
+	}
+	return Entry{
+		Rank:     rank,
+		Domain:   fmt.Sprintf("%s%s-r%d.%s", p, s, rank, tld),
+		Category: category,
+	}
+}
+
 // Shopping returns the shopping-category entries in rank order.
 func (l *List) Shopping() []Entry {
 	var out []Entry

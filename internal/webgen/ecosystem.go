@@ -21,6 +21,16 @@ type Config struct {
 	TopN          int // Tranco depth (10,000)
 	ShoppingSites int // candidate shopping sites (404)
 
+	// UniverseSize extends the site population past the study core to a
+	// ranked long tail of background sites (Tranco-1M scale). The first
+	// len(Sites) universe indexes are the study core exactly as
+	// generated; the rest are derived lazily, one independent PCG
+	// stream per rank, so nothing beyond the core is ever materialized
+	// up front. 0 (the default) means the universe is the core alone —
+	// byte-identical to the pre-universe behaviour. A non-zero value
+	// smaller than the study core is a validation error.
+	UniverseSize int
+
 	// Funnel obstacles (§3.2).
 	Unreachable  int // 22
 	NoAuthFlow   int // 19
@@ -237,6 +247,12 @@ func validate(cfg Config) error {
 	}
 	if p := cfg.PolicyNotSpecific + cfg.PolicySpecific + cfg.PolicyNoDescription + cfg.PolicyExplicitNot; p != cfg.Senders {
 		return fmt.Errorf("webgen: policy classes sum to %d, want %d", p, cfg.Senders)
+	}
+	if cfg.UniverseSize < 0 {
+		return fmt.Errorf("webgen: negative UniverseSize %d", cfg.UniverseSize)
+	}
+	if cfg.UniverseSize > 0 && cfg.UniverseSize < cfg.ShoppingSites {
+		return fmt.Errorf("webgen: UniverseSize %d is smaller than the %d-site study core", cfg.UniverseSize, cfg.ShoppingSites)
 	}
 	return nil
 }
@@ -815,15 +831,9 @@ func (e *Ecosystem) buildTags(rng *rand.Rand) {
 			// referer-receiver count.
 			continue
 		}
-		s.Tags = append(s.Tags,
-			site.Tag{Receiver: "jscdn-static.net", Host: "cdn.jscdn-static.net", Path: "/lib/app.js", Type: httpmodel.TypeScript, OnSubpages: true},
-			site.Tag{Receiver: "webfonts-host.org", Host: "fonts.webfonts-host.org", Path: "/css/family.css", Type: httpmodel.TypeStylesheet, OnSubpages: true},
-		)
+		s.Tags = append(s.Tags, benignCDNTag(), benignFontTag())
 		if !senderSet[s] && i%3 == 0 {
-			s.Tags = append(s.Tags, site.Tag{
-				Receiver: "facebook.com", Host: "www.facebook.com",
-				Path: "/en_US/fbevents.js", Type: httpmodel.TypeScript, OnSubpages: true,
-			})
+			s.Tags = append(s.Tags, facebookPixelTag())
 		}
 	}
 	_ = rng

@@ -152,8 +152,9 @@ type RunOption func(*runConfig)
 
 // runConfig is the resolved option set a Run call executes under.
 type runConfig struct {
-	opts   pipeline.Options
-	stream bool
+	opts     pipeline.Options
+	stream   bool
+	universe int
 }
 
 // defaultRunConfig seeds the option set from the study's Config,
@@ -228,10 +229,31 @@ func WithQuarantine(q *crawler.Quarantine) RunOption {
 	return func(rc *runConfig) { rc.opts.Quarantine = q }
 }
 
-// WithSites restricts the run to a site subset (re-running quarantined
-// domains, bisecting failures).
+// WithSites restricts the run to a materialized site subset (re-running
+// quarantined domains, bisecting failures).
+//
+// Deprecated: use WithSource(site.Slice(sites)) — the source-based API
+// covers both materialized subsets and lazy populations. WithSites
+// survives as a thin wrapper for one release, pinned byte-identical.
 func WithSites(sites []*site.Site) RunOption {
 	return func(rc *runConfig) { rc.opts.Sites = sites }
+}
+
+// WithSource supplies the run's site population lazily: sites
+// materialize one at a time as the crawl reaches them, so peak site
+// memory is bounded by the captures in flight, not the population's
+// length.
+func WithSource(src site.Source) RunOption {
+	return func(rc *runConfig) { rc.opts.Source = src }
+}
+
+// WithUniverse extends the study core with a lazily generated ranked
+// tail to n total sites for this run — the paper-exact head stays
+// byte-identical, and tail site i is derived on demand from
+// (seed, rank). n == 0 keeps the configured scale; n smaller than the
+// study core is an error.
+func WithUniverse(n int) RunOption {
+	return func(rc *runConfig) { rc.universe = n }
 }
 
 // WithFaults overrides the ecosystem's fault injector for this run.
@@ -271,6 +293,16 @@ func (s *Study) Run(ctx context.Context, options ...RunOption) error {
 			opt(&rc)
 		}
 	}
+	if rc.universe != 0 {
+		if rc.opts.Source != nil {
+			return fmt.Errorf("piileak: WithUniverse and WithSource are both set — pick one site supply")
+		}
+		u, err := s.Eco.UniverseOf(rc.universe)
+		if err != nil {
+			return err
+		}
+		rc.opts.Source = u
+	}
 	rc.opts.KeepRecords = !rc.stream
 	return s.runPipeline(ctx, rc.opts)
 }
@@ -290,7 +322,7 @@ func (s *Study) RunSharded(ctx context.Context, opts shard.Options) (*shard.Repo
 		info := obs.RunInfo{
 			EcoSeed:       s.Eco.Config.Seed,
 			Browser:       s.Config.Browser.Name + " " + s.Config.Browser.Version,
-			Sites:         len(s.Eco.Sites),
+			Sites:         s.Eco.Universe().Len(),
 			CrawlWorkers:  opts.Workers,
 			DetectWorkers: opts.DetectWorkers,
 			Streamed:      true,
@@ -357,13 +389,16 @@ func (s *Study) runPipeline(ctx context.Context, opts pipeline.Options) error {
 		info := obs.RunInfo{
 			EcoSeed:       s.Eco.Config.Seed,
 			Browser:       s.Config.Browser.Name + " " + s.Config.Browser.Version,
-			Sites:         len(s.Eco.Sites),
+			Sites:         s.Eco.Universe().Len(),
 			CrawlWorkers:  opts.Workers,
 			DetectWorkers: opts.DetectWorkers,
 			Streamed:      !opts.KeepRecords,
 		}
 		if opts.Sites != nil {
 			info.Sites = len(opts.Sites)
+		}
+		if opts.Source != nil {
+			info.Sites = opts.Source.Len()
 		}
 		if s.Eco.Faults != nil {
 			info.FaultSeed = s.Eco.Faults.Seed()

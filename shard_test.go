@@ -152,6 +152,63 @@ func TestShardedRunsByteIdentical(t *testing.T) {
 			t.Errorf("run info = %+v, want 4 shards, streamed", m.Run)
 		}
 	})
+
+	// The scale arm: the study core plus a lazily generated 100k-site
+	// ranked tail, split across 4 shards. Each worker derives only its
+	// interleaved slice on demand — the materialized-site gauge must stay
+	// at the shard's share of the universe, not the whole universe — and
+	// the merge must still be byte-identical to the single lazy run.
+	t.Run("K=4-universe-100k", func(t *testing.T) {
+		const universe = 100_000
+		big := SmallConfig(seed)
+		big.Ecosystem.UniverseSize = universe
+
+		bigRef, err := NewStudy(big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bigRef.Run(ctx, WithStream(), WithWorkers(2, 2)); err != nil {
+			t.Fatal(err)
+		}
+		wantBig := leaksJSON(t, bigRef)
+
+		s, err := NewStudy(big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := obs.NewRun(nil)
+		rep, err := s.RunSharded(ctx, shard.Options{
+			Shards:        4,
+			Dir:           t.TempDir(),
+			Workers:       2,
+			DetectWorkers: 2,
+			Clock:         resilience.NewVirtualClock(),
+			Obs:           o,
+			Fresh:         true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Partial {
+			t.Fatalf("sharded run degraded: %+v", rep)
+		}
+		if got := leaksJSON(t, s); !bytes.Equal(wantBig, got) {
+			t.Errorf("leak JSON diverges from unsharded 100k run (%d vs %d bytes)", len(got), len(wantBig))
+		}
+		if got, want := s.Analysis.Headline(), bigRef.Analysis.Headline(); got != want {
+			t.Errorf("headline diverges:\n%+v\n%+v", got, want)
+		}
+		if m := o.Manifest(); m.Run.Sites != universe || m.Run.Shards != 4 {
+			t.Errorf("run info = %+v, want %d sites over 4 shards", m.Run, universe)
+		}
+		// Per-worker memory pin: no worker materialized more than its
+		// interleaved share of the universe (ceil(universe/4)), within a
+		// small constant for captures in flight.
+		const share = (universe + 3) / 4
+		if got := o.Snapshot().Gauges[obs.MetricUniverseMaterialized]; got == 0 || got > share+8 {
+			t.Errorf("materialized-site gauge = %d, want within (0, %d]", got, share+8)
+		}
+	})
 }
 
 // BenchmarkShardMerge measures the verified merge itself: K shard
